@@ -1,0 +1,31 @@
+"""Figure 13: analytical-model validation + sampling estimator."""
+
+from conftest import once
+
+from repro.experiments import fig13_validation
+
+
+def _run_both():
+    points = fig13_validation.run_fixed_epochs(epoch_grid=(1, 5, 10, 25, 50), workers=10)
+    estimates = fig13_validation.run_estimator(
+        cases=(("lr", "higgs"), ("svm", "higgs")), algorithms=("ma_sgd", "admm")
+    )
+    return points, estimates
+
+
+def test_fig13_validation(benchmark, write_report):
+    points, estimates = once(benchmark, _run_both)
+    report = fig13_validation.format_report(points, estimates)
+    write_report("fig13_validation", report)
+
+    # (a) The analytical model tracks simulated runtime within ~30%.
+    for p in points:
+        assert abs(p.faas_predicted_s - p.faas_actual_s) / p.faas_actual_s < 0.35, p
+        assert abs(p.iaas_predicted_s - p.iaas_actual_s) / p.iaas_actual_s < 0.35, p
+
+    # (b) The 10% sampling estimator lands in the right epoch ballpark
+    # and the resulting runtime prediction is the right magnitude.
+    for e in estimates:
+        assert e.estimated_epochs <= 3 * max(e.actual_epochs, 1.0) + 10, e
+        assert e.predicted_runtime_s < 10 * e.actual_runtime_s, e
+        assert e.predicted_runtime_s > e.actual_runtime_s / 10, e

@@ -1,0 +1,91 @@
+"""A tour of LambdaML's design space (paper Section 3).
+
+Sweeps the four FaaS design dimensions on one workload and prints how
+each choice moves runtime and cost:
+
+1. distributed optimization algorithm (GA-SGD / MA-SGD / ADMM),
+2. communication channel (S3 / Memcached / DynamoDB),
+3. communication pattern (AllReduce / ScatterReduce),
+4. synchronization protocol (BSP / ASP).
+
+Run:  python examples/design_space_tour.py
+"""
+
+from __future__ import annotations
+
+from repro import TrainingConfig, train
+
+
+def run(**overrides):
+    base = dict(
+        model="lr",
+        dataset="higgs",
+        algorithm="admm",
+        system="lambdaml",
+        workers=10,
+        channel="s3",
+        batch_size=100_000,
+        lr=0.05,
+        loss_threshold=0.66,
+        max_epochs=40,
+    )
+    base.update(overrides)
+    return train(TrainingConfig(**base))
+
+
+def show(title: str, runs: dict) -> None:
+    print(f"\n== {title} ==")
+    print(f"{'configuration':<22} {'conv':<6} {'loss':>7} {'time(s)':>9} {'cost($)':>9} {'rounds':>7}")
+    for name, r in runs.items():
+        print(
+            f"{name:<22} {str(r.converged):<6} {r.final_loss:>7.4f} "
+            f"{r.duration_s:>9.1f} {r.cost_total:>9.4f} {r.comm_rounds:>7}"
+        )
+
+
+def main() -> None:
+    show(
+        "1. Algorithm (channel=s3)",
+        {
+            "ADMM": run(algorithm="admm"),
+            "MA-SGD": run(algorithm="ma_sgd"),
+            "GA-SGD": run(algorithm="ga_sgd", lr=0.3, max_epochs=3),
+        },
+    )
+    show(
+        "2. Channel (algorithm=admm)",
+        {
+            "S3": run(channel="s3"),
+            "Memcached": run(channel="memcached"),
+            "DynamoDB": run(channel="dynamodb"),
+        },
+    )
+    show(
+        "3. Pattern (mobilenet, memcached)",
+        {
+            "AllReduce": run(
+                model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
+                channel="memcached", channel_prestarted=True,
+                batch_size=128, batch_scope="per_worker",
+                loss_threshold=None, max_epochs=1, pattern="allreduce",
+            ),
+            "ScatterReduce": run(
+                model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
+                channel="memcached", channel_prestarted=True,
+                batch_size=128, batch_scope="per_worker",
+                loss_threshold=None, max_epochs=1, pattern="scatterreduce",
+            ),
+        },
+    )
+    show(
+        "4. Protocol (ga-sgd)",
+        {
+            "BSP": run(algorithm="ga_sgd", lr=0.3, max_epochs=4, straggler_jitter=0.3),
+            "ASP": run(algorithm="ga_sgd", lr=0.3, max_epochs=4, protocol="asp",
+                       straggler_jitter=0.3),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the `wheel` package, so
+PEP-517 editable installs fail with "invalid command 'bdist_wheel'".
+This shim lets `pip install -e . --no-use-pep517` (and plain
+`pip install -e .` on toolchains that prefer setup.py) perform a
+legacy editable install. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro: a reproduction of "Towards Demystifying Serverless Machine
+Learning Training" (Jiang et al., SIGMOD 2021).
+
+The package implements LambdaML — FaaS-based distributed ML training
+over simulated AWS infrastructure — together with the IaaS baselines
+(distributed PyTorch, Angel, the Cirrus-style hybrid parameter server)
+and the paper's analytical cost/performance model.
+
+Quickstart::
+
+    from repro import TrainingConfig, train
+
+    result = train(TrainingConfig(
+        model="lr", dataset="higgs", algorithm="admm",
+        system="lambdaml", workers=10, loss_threshold=0.66,
+    ))
+    print(result.summary())
+"""
+
+from repro.core.config import TrainingConfig
+from repro.core.driver import train
+from repro.core.results import RunResult
+
+__version__ = "1.0.0"
+
+__all__ = ["TrainingConfig", "train", "RunResult", "__version__"]

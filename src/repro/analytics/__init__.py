@@ -1,0 +1,20 @@
+"""Analytical model of FaaS vs IaaS training (paper Section 5.3)."""
+
+from repro.analytics.constants import TABLE6, AnalyticalConstants
+from repro.analytics.estimator import SamplingEstimator
+from repro.analytics.model import (
+    AnalyticalModel,
+    WorkloadParams,
+    faas_time,
+    iaas_time,
+)
+
+__all__ = [
+    "TABLE6",
+    "AnalyticalConstants",
+    "AnalyticalModel",
+    "WorkloadParams",
+    "faas_time",
+    "iaas_time",
+    "SamplingEstimator",
+]

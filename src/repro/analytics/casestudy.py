@@ -1,0 +1,119 @@
+"""Section 5.3.1 case studies: future-infrastructure what-ifs.
+
+Q1 — What if Lambda↔VM communication reached 10 Gbps (and FaaS offered
+GPUs at IaaS-like prices)? We re-evaluate the hybrid architecture's
+round trip with the bandwidth term replaced, as the paper does in its
+analytical model, producing Figure 14's runtime/cost points.
+
+Q2 — What if the data is already hot in a VM (m5a.12xlarge)? Loading
+then happens over the VM's egress instead of S3. IaaS peers pull at
+near line rate; Lambda functions are bottlenecked by the per-function
+FaaS link and the RPC serving path, which is why the paper finds IaaS
+"significantly outperforms" FaaS on hot data (Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analytics.constants import TABLE6, AnalyticalConstants
+from repro.analytics.model import MB, AnalyticalModel, WorkloadParams
+from repro.pricing.catalog import DEFAULT_CATALOG, PriceCatalog
+
+# Effective FaaS<->VM bandwidth today (per function) and in the Q1 what-if.
+FAAS_VM_BANDWIDTH_TODAY = 70 * MB
+FAAS_VM_BANDWIDTH_10G = 1250 * MB
+
+# Q2: hot data served from an m5a.12xlarge. IaaS peers saturate the
+# 10 Gbps egress; Lambda readers are bound by the VM's RPC serving
+# path (serialization per request), well below line rate.
+HOT_VM_EGRESS_IAAS = 1250 * MB
+HOT_VM_EGRESS_FAAS = 150 * MB
+
+# Q1 GPU what-if: hypothetical FaaS GPU priced like g3s.xlarge.
+GPU_FAAS_HOURLY = 0.75
+
+
+@dataclass(frozen=True)
+class HybridModel:
+    """Analytical runtime/cost of the hybrid (PS-on-VM) architecture."""
+
+    params: WorkloadParams
+    ps_instance: str = "c5.4xlarge"
+    faas_vm_bandwidth: float = FAAS_VM_BANDWIDTH_TODAY
+    # Lambda-side serialization rate (gRPC at 1.8 vCPU); the hybrid's
+    # bottleneck today (Section 4.3).
+    serdes_bandwidth: float = 100 * MB
+    constants: AnalyticalConstants = TABLE6
+    catalog: PriceCatalog = DEFAULT_CATALOG
+
+    def comm_seconds(self, workers: int) -> float:
+        """Per-epoch PS round trips: push m, update, pull m."""
+        m = self.params.model_bytes
+        per_transfer = m / self.faas_vm_bandwidth + m / self.serdes_bandwidth
+        # 2 transfers (push + pull); PS-side update folded into serdes.
+        return self.params.rounds_per_epoch * 2.0 * per_transfer
+
+    def seconds(self, workers: int) -> float:
+        p = self.params
+        epochs = p.epochs_faas * p.scaling_faas(workers)
+        per_epoch = self.comm_seconds(workers) + p.compute_faas_s / workers
+        startup = self.constants.startup_iaas(1)  # one PS VM gates the job
+        load = p.dataset_bytes / (workers * self.constants.bandwidth_s3)
+        return startup + load + epochs * per_epoch
+
+    def cost(self, workers: int, lambda_memory_gb: float = 3.0) -> float:
+        seconds = self.seconds(workers)
+        lam = workers * lambda_memory_gb * seconds * self.catalog.lambda_per_gb_second
+        ps = self.catalog.ec2_price(self.ps_instance) * seconds / 3600.0
+        return lam + ps
+
+
+def q1_fast_hybrid(params: WorkloadParams, workers: int) -> dict[str, tuple[float, float]]:
+    """Figure 14 points: (runtime, cost) per system with 10 Gbps links."""
+    base = AnalyticalModel(params)
+    hybrid_now = HybridModel(params)
+    hybrid_10g = HybridModel(
+        params,
+        faas_vm_bandwidth=FAAS_VM_BANDWIDTH_10G,
+        serdes_bandwidth=FAAS_VM_BANDWIDTH_10G,
+    )
+    return {
+        "faas": (base.faas_seconds(workers), base.faas_cost(workers)),
+        "iaas": (base.iaas_seconds(workers), base.iaas_cost(workers)),
+        "hybrid": (hybrid_now.seconds(workers), hybrid_now.cost(workers)),
+        "hybrid-10g": (hybrid_10g.seconds(workers), hybrid_10g.cost(workers)),
+    }
+
+
+def q1_gpu_faas_cost(runtime_s: float, workers: int) -> float:
+    """Cost of the hypothetical GPU-FaaS at g3s.xlarge-like pricing."""
+    return workers * GPU_FAAS_HOURLY * runtime_s / 3600.0
+
+
+def q2_hot_data(
+    params: WorkloadParams, workers: int
+) -> dict[str, tuple[float, float]]:
+    """Figure 15 points: loading comes from a hot VM instead of S3."""
+    s = params.dataset_bytes
+    # Replace the S3 load with VM-egress loads per platform.
+    no_load = replace(params, dataset_bytes=0.0)
+    base = AnalyticalModel(no_load)
+    hybrid = HybridModel(no_load)
+
+    iaas_load = s / min(workers * TABLE6.bandwidth_net_t2, HOT_VM_EGRESS_IAAS)
+    faas_load = s / min(workers * FAAS_VM_BANDWIDTH_TODAY, HOT_VM_EGRESS_FAAS)
+
+    iaas_s = base.iaas_seconds(workers) + iaas_load
+    faas_s = base.faas_seconds(workers) + faas_load
+    hybrid_s = hybrid.seconds(workers) + faas_load
+    catalog = DEFAULT_CATALOG
+    return {
+        "iaas": (iaas_s, workers * catalog.ec2_price("t2.medium") * iaas_s / 3600.0),
+        "faas": (faas_s, workers * 3.0 * faas_s * catalog.lambda_per_gb_second),
+        "hybrid": (
+            hybrid_s,
+            workers * 3.0 * hybrid_s * catalog.lambda_per_gb_second
+            + catalog.ec2_price("c5.4xlarge") * hybrid_s / 3600.0,
+        ),
+    }

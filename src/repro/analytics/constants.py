@@ -1,0 +1,70 @@
+"""Table 6: measured constants for the analytical model.
+
+These are the paper's own measurements on AWS (mean ± spread); we keep
+the means as ground truth for both the analytical model and — via the
+substrate modules — the discrete-event simulator, so the two views stay
+mutually consistent (which is exactly what Figure 13a validates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class AnalyticalConstants:
+    """Bandwidths (bytes/s), latencies (s) and start-up anchors."""
+
+    # Start-up time anchors t_F(w) / t_I(w): {workers: seconds}.
+    t_faas: dict[int, float] = field(
+        default_factory=lambda: {10: 1.2, 50: 11.0, 100: 18.0, 200: 35.0}
+    )
+    t_iaas: dict[int, float] = field(
+        default_factory=lambda: {10: 132.0, 50: 160.0, 100: 292.0, 200: 606.0}
+    )
+
+    bandwidth_s3: float = 65 * MB
+    bandwidth_ebs: float = 1950 * MB  # gp2
+    bandwidth_net_t2: float = 120 * MB  # t2.medium <-> t2.medium
+    bandwidth_net_c5: float = 225 * MB  # c5.large <-> c5.large
+    bandwidth_ec_t3: float = 630 * MB  # cache.t3.medium
+    bandwidth_ec_m5: float = 1260 * MB  # cache.m5.large
+
+    latency_s3: float = 8e-2
+    latency_ebs: float = 3e-5
+    latency_net_t2: float = 5e-4
+    latency_net_c5: float = 1.5e-4
+    latency_ec_t3: float = 1e-2
+
+    def startup_faas(self, workers: int) -> float:
+        return _interp_anchors(self.t_faas, workers, floor=1.0)
+
+    def startup_iaas(self, workers: int) -> float:
+        return _interp_anchors(self.t_iaas, workers, floor=120.0)
+
+
+def _interp_anchors(anchors: dict[int, float], workers: int, floor: float) -> float:
+    """Log-linear interpolation between measured worker counts."""
+    import math
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    points = sorted(anchors.items())
+    if workers <= points[0][0]:
+        if workers == points[0][0]:
+            return points[0][1]
+        # Interpolate between the single-worker floor and the first anchor.
+        w1, t1 = points[0]
+        frac = (math.log(workers) - 0.0) / (math.log(w1) - 0.0) if w1 > 1 else 1.0
+        return floor + frac * (t1 - floor)
+    for (w0, t0), (w1, t1) in zip(points, points[1:]):
+        if w0 <= workers <= w1:
+            frac = (math.log(workers) - math.log(w0)) / (math.log(w1) - math.log(w0))
+            return t0 + frac * (t1 - t0)
+    w_last, t_last = points[-1]
+    return t_last * (workers / w_last)
+
+
+TABLE6 = AnalyticalConstants()

@@ -1,0 +1,144 @@
+"""Command-line interface.
+
+Usage (installed as a module)::
+
+    python -m repro.cli train --model lr --dataset higgs --algorithm admm \
+        --system lambdaml --workers 10 --loss-threshold 0.66
+    python -m repro.cli workloads
+    python -m repro.cli estimate --model lr --dataset higgs \
+        --algorithm ma_sgd --lr 0.05 --threshold 0.66
+
+`train` prints a RunResult summary plus breakdowns; `workloads` lists
+the tuned Table-4 workloads; `estimate` runs the sampling-based
+epochs-to-convergence estimator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analytics.estimator import SamplingEstimator
+from repro.core.config import TrainingConfig
+from repro.core.driver import train
+from repro.experiments.workloads import WORKLOADS
+
+
+def _add_train_parser(subparsers) -> None:
+    p = subparsers.add_parser("train", help="run one simulated training job")
+    p.add_argument("--model", required=True,
+                   choices=["lr", "svm", "kmeans", "mobilenet", "resnet50"])
+    p.add_argument("--dataset", required=True,
+                   choices=["higgs", "rcv1", "cifar10", "yfcc100m", "criteo"])
+    p.add_argument("--algorithm", default="ma_sgd",
+                   choices=["ga_sgd", "ma_sgd", "admm", "em"])
+    p.add_argument("--system", default="lambdaml",
+                   choices=["lambdaml", "pytorch", "angel", "hybridps"])
+    p.add_argument("--workers", type=int, default=10)
+    p.add_argument("--channel", default="s3",
+                   choices=["s3", "memcached", "redis", "dynamodb"])
+    p.add_argument("--pattern", default="allreduce",
+                   choices=["allreduce", "scatterreduce"])
+    p.add_argument("--protocol", default="bsp", choices=["bsp", "asp"])
+    p.add_argument("--instance", default="t2.medium")
+    p.add_argument("--batch-size", type=int, default=10_000)
+    p.add_argument("--batch-scope", default="global", choices=["global", "per_worker"])
+    p.add_argument("--lr", type=float, default=0.05)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--loss-threshold", type=float, default=None)
+    p.add_argument("--max-epochs", type=float, default=40.0)
+    p.add_argument("--seed", type=int, default=20210620)
+
+
+def _run_train(args: argparse.Namespace) -> int:
+    config = TrainingConfig(
+        model=args.model,
+        dataset=args.dataset,
+        algorithm=args.algorithm,
+        system=args.system,
+        workers=args.workers,
+        channel=args.channel,
+        pattern=args.pattern,
+        protocol=args.protocol,
+        instance=args.instance,
+        batch_size=args.batch_size,
+        batch_scope=args.batch_scope,
+        lr=args.lr,
+        k=args.k,
+        loss_threshold=args.loss_threshold,
+        max_epochs=args.max_epochs,
+        seed=args.seed,
+    )
+    result = train(config)
+    print(result.summary())
+    print("\ntime breakdown (s):")
+    for phase, seconds in sorted(result.breakdown.as_dict().items()):
+        print(f"  {phase:<12} {seconds:10.2f}")
+    print("\ncost breakdown ($):")
+    for component, dollars in sorted(result.cost_breakdown.items()):
+        print(f"  {component:<12} {dollars:10.4f}")
+    return 0 if (result.converged or config.loss_threshold is None) else 1
+
+
+def _run_workloads(_args: argparse.Namespace) -> int:
+    print(f"{'workload':<22} {'algorithm':<8} {'W':>4} {'batch':>9} "
+          f"{'lr':>6} {'threshold':>9} {'paper':>7}")
+    for key, w in sorted(WORKLOADS.items()):
+        print(
+            f"{key:<22} {w.algorithm:<8} {w.workers:>4} {w.batch_size:>9} "
+            f"{w.lr:>6} {w.threshold:>9} {w.paper_threshold:>7}"
+        )
+    return 0
+
+
+def _add_estimate_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "estimate", help="sampling-based epochs-to-convergence estimate"
+    )
+    p.add_argument("--model", required=True)
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--algorithm", default="ma_sgd")
+    p.add_argument("--lr", type=float, required=True)
+    p.add_argument("--threshold", type=float, required=True)
+    p.add_argument("--sample-fraction", type=float, default=0.1)
+    p.add_argument("--batch-size", type=int, default=100)
+    p.add_argument("--seed", type=int, default=20210620)
+
+
+def _run_estimate(args: argparse.Namespace) -> int:
+    estimator = SamplingEstimator(sample_fraction=args.sample_fraction, seed=args.seed)
+    estimate = estimator.estimate(
+        args.model, args.dataset, args.algorithm,
+        lr=args.lr, threshold=args.threshold, batch_size=args.batch_size,
+    )
+    state = "converged" if estimate.converged else "did NOT converge"
+    print(f"{state}: ~{estimate.epochs:.1f} epochs to loss {args.threshold}")
+    for epoch, loss in estimate.trajectory[:12]:
+        print(f"  epoch {epoch:6.1f}: loss {loss:.4f}")
+    return 0 if estimate.converged else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LambdaML reproduction: simulated FaaS/IaaS ML training",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_train_parser(subparsers)
+    subparsers.add_parser("workloads", help="list tuned Table-4 workloads")
+    _add_estimate_parser(subparsers)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "train": _run_train,
+        "workloads": _run_workloads,
+        "estimate": _run_estimate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Vector aggregation helpers shared by the communication patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CommunicationError
+
+
+def reduce_vectors(vectors: list[np.ndarray], reduce: str) -> np.ndarray:
+    """Element-wise mean or sum of equal-length vectors."""
+    if not vectors:
+        raise CommunicationError("nothing to reduce")
+    first = vectors[0]
+    for v in vectors[1:]:
+        if v.shape != first.shape:
+            raise CommunicationError(
+                f"shape mismatch in reduction: {v.shape} vs {first.shape}"
+            )
+    stacked = np.stack([np.asarray(v, dtype=np.float64) for v in vectors])
+    if reduce == "mean":
+        return stacked.mean(axis=0)
+    if reduce == "sum":
+        return stacked.sum(axis=0)
+    raise CommunicationError(f"unknown reduction {reduce!r}; expected mean|sum")
+
+
+def split_chunks(vector: np.ndarray, parts: int) -> list[np.ndarray]:
+    """Split a vector into `parts` nearly equal chunks (ScatterReduce)."""
+    if parts < 1:
+        raise CommunicationError(f"parts must be >= 1, got {parts}")
+    return [np.asarray(c) for c in np.array_split(vector, parts)]

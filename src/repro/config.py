@@ -1,0 +1,40 @@
+"""Global defaults shared across the library.
+
+The values here are deliberately small and boring: anything with
+scientific meaning (bandwidths, prices, model sizes) lives next to the
+subsystem that owns it (`analytics.constants`, `pricing.catalog`,
+`models.zoo`). This module only pins down reproducibility knobs and
+scaling factors used when shrinking the paper's datasets to
+laptop-scale physical arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Seed used by every experiment unless the caller overrides it. All
+# randomness in the library flows through `utils.rng.make_rng`, so a
+# single seed makes full runs bit-reproducible.
+DEFAULT_SEED = 20210620  # SIGMOD'21 opening day.
+
+# Physical down-scaling factor applied to the paper's datasets: we keep
+# 1/SCALE of the instances *and* divide batch sizes by SCALE so that the
+# number of iterations per epoch is unchanged (see DESIGN.md section 2).
+DEFAULT_DATA_SCALE = 100
+
+# Simulated-polling granularity for the synchronous protocol's wait
+# loops (seconds). The paper polls the storage service for merged
+# files; we charge this much extra latency per wake-up.
+DEFAULT_POLL_INTERVAL_S = 0.05
+
+
+@dataclass(frozen=True)
+class ReproducibilityConfig:
+    """Bundle of determinism knobs threaded through experiments."""
+
+    seed: int = DEFAULT_SEED
+    data_scale: int = DEFAULT_DATA_SCALE
+
+    def child_seed(self, stream: str) -> int:
+        """Derive a per-stream seed so subsystems do not share RNG state."""
+        return (self.seed * 1_000_003 + hash(stream)) % (2**31 - 1)

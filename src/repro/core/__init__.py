@@ -1,0 +1,15 @@
+"""LambdaML core: configuration, job context, executors, driver."""
+
+from repro.core.config import TrainingConfig
+from repro.core.context import JobContext, WorkerOutcome
+from repro.core.driver import train
+from repro.core.results import LossPoint, RunResult
+
+__all__ = [
+    "TrainingConfig",
+    "JobContext",
+    "WorkerOutcome",
+    "train",
+    "RunResult",
+    "LossPoint",
+]

@@ -1,0 +1,275 @@
+"""Job context: shared state wiring a training run together.
+
+Built once per run by the driver, the context owns the engine, the cost
+meter, the dataset shards, the per-worker algorithm instances, the
+communication channel and all derived timing constants. Executor
+generators receive the context plus their rank and interact with the
+simulated world exclusively through `yield`ed commands and context
+helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.config import (
+    ANGEL_COMPUTE_FACTOR,
+    ANGEL_STARTUP_EXTRA_S,
+    TrainingConfig,
+)
+from repro.core.results import LossPoint
+from repro.comm.patterns import allreduce, scatter_reduce
+from repro.data.datasets import DatasetSpec, get_spec
+from repro.data.loader import Shard, make_shards
+from repro.data.synth import generate
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.faas.checkpoint import Checkpoint, checkpoint_bytes
+from repro.faas.limits import LambdaLimits, lambda_speed_factor
+from repro.faas.runtime import FunctionLifetime, faas_startup_seconds
+from repro.iaas.cluster import VMCluster, iaas_startup_seconds
+from repro.iaas.mpi import MPICommunicator
+from repro.iaas.ps import ParameterServer, PSTimingModel, make_parameter_server
+from repro.iaas.vm import InstanceSpec, get_instance
+from repro.models.zoo import ModelInfo, get_model_info
+from repro.optim.base import DistributedAlgorithm, make_algorithm
+from repro.pricing.meter import CostMeter
+from repro.simulation.engine import Engine
+from repro.storage.services import Channel, S3Store, make_channel
+from repro.utils.serialization import SizedPayload
+
+
+
+@dataclass
+class WorkerOutcome:
+    """Returned by executor generators when a worker finishes."""
+
+    rank: int
+    epochs: float
+    rounds: int
+    final_loss: float
+
+
+class JobContext:
+    """Everything a worker generator needs, keyed by rank."""
+
+    def __init__(self, config: TrainingConfig) -> None:
+        self.config = config
+        self.spec: DatasetSpec = get_spec(config.dataset)
+        self.info: ModelInfo = get_model_info(
+            config.model, config.dataset, k=config.k, l2=config.l2
+        )
+        self.engine = Engine()
+        self.meter = CostMeter()
+
+        scale = config.data_scale or self.spec.default_scale
+        self.scale = scale
+        split = generate(config.dataset, scale=scale, seed=config.seed)
+        self.shards: list[Shard] = make_shards(
+            split,
+            config.workers,
+            global_batch=config.physical_batch(scale),
+            partition_mode=config.partition_mode,
+            seed=config.seed,
+            min_local_batch=config.min_local_batch,
+        )
+        # k-means needs one globally sampled initialisation broadcast
+        # to every worker (the starter's job in LambdaML).
+        kmeans_init = None
+        if self.info.kind == "kmeans":
+            probe_model = self.info.factory()
+            kmeans_init = probe_model.init_centroids(split.X_train, rng=config.seed)
+        self.algorithms: list[DistributedAlgorithm] = [
+            make_algorithm(
+                config.algorithm,
+                self.info.factory(),
+                shard,
+                lr=config.lr,
+                seed=config.seed,  # same init on every worker
+                admm_rho=config.admm_rho,
+                admm_scans=config.admm_scans,
+                ma_sync_epochs=config.ma_sync_epochs,
+                kmeans_init=kmeans_init,
+            )
+            for shard in self.shards
+        ]
+
+        # Training data is staged in S3 for every platform (paper §5.1).
+        self.data_store = S3Store(meter=self.meter)
+        for rank in range(config.workers):
+            self.data_store.seed_object(
+                self.partition_key(rank),
+                SizedPayload(None, self.spec.partition_bytes(config.workers)),
+            )
+
+        # Platform-specific infrastructure, built lazily by the driver.
+        self.channel: Channel | None = None
+        self.mpi: MPICommunicator | None = None
+        self.cluster: VMCluster | None = None
+        self.ps: ParameterServer | None = None
+        self.limits = LambdaLimits(
+            memory_gb=config.lambda_memory_gb, lifetime_s=config.lambda_lifetime_s
+        )
+        self.lifetimes: dict[int, FunctionLifetime] = {}
+
+        # Shared observability (pure bookkeeping, no simulated effects).
+        self.history: list[LossPoint] = []
+        self.checkpoint_count = 0
+        self.extra_invocations = 0
+
+        self._speed_cache: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Infrastructure setup (called by the driver)
+    # ------------------------------------------------------------------
+    def setup_faas(self) -> None:
+        self.channel = make_channel(
+            self.config.channel, meter=self.meter, node=self.config.cache_node
+        )
+        if self.config.channel_prestarted:
+            self.channel.store.available_at = 0.0
+        self.startup_s = faas_startup_seconds(self.config.workers)
+        self._check_faas_memory()
+
+    def setup_iaas(self) -> None:
+        self.cluster = VMCluster.build(self.config.instance, self.config.workers)
+        self.mpi = MPICommunicator(self.cluster)
+        self.startup_s = self.cluster.startup_s
+        if self.config.system == "angel":
+            self.startup_s += ANGEL_STARTUP_EXTRA_S
+
+    def setup_hybrid(self) -> None:
+        self.startup_s = faas_startup_seconds(self.config.workers)
+        init = self.algorithms[0].params.astype(np.float64).copy()
+        # The PS applies each worker's gradient; dividing the rate by w
+        # keeps the effective step equivalent to one averaged update.
+        self.ps = make_parameter_server(
+            self.config.ps_instance,
+            init_params=init,
+            logical_param_bytes=self.info.param_bytes,
+            lr=self.config.lr / self.config.workers,
+            rpc=self.config.rpc,
+            lambda_memory_gb=self.config.lambda_memory_gb,
+            meter=self.meter,
+        )
+        self._check_faas_memory()
+
+    def _check_faas_memory(self) -> None:
+        """Enforce the 3 GB Lambda memory envelope (paper §5.2 OOM case)."""
+        cfg = self.config
+        local_batch = max(1, self.config.global_batch // cfg.workers)
+        needed = (
+            self.spec.partition_bytes(cfg.workers)
+            + 4 * self.info.param_bytes
+            + local_batch * self.info.activation_bytes_per_instance
+        )
+        if needed > self.limits.memory_bytes:
+            raise OutOfMemoryError(
+                f"{cfg.model}/{cfg.dataset} with batch {self.config.global_batch} on "
+                f"{cfg.workers} workers needs ~{needed / 1024**3:.2f} GiB per function, "
+                f"exceeding the {self.limits.memory_gb:.0f} GB Lambda limit"
+            )
+
+    # ------------------------------------------------------------------
+    # Timing helpers
+    # ------------------------------------------------------------------
+    def worker_speed(self, rank: int) -> float:
+        """Training throughput of worker `rank` vs the reference worker."""
+        if rank in self._speed_cache:
+            return self._speed_cache[rank]
+        cfg = self.config
+        if cfg.platform in ("faas", "hybrid"):
+            base = lambda_speed_factor(cfg.lambda_memory_gb)
+        else:
+            instance = get_instance(cfg.instance)
+            if instance.gpu and self.info.kind == "supervised" and not self.info.convex:
+                # Deep models on GPU instances run at GPU throughput.
+                base = (
+                    self.info.compute.gpu_speedup_m60
+                    if instance.gpu == "m60"
+                    else self.info.compute.gpu_speedup_t4
+                )
+            else:
+                base = instance.relative_speed
+            if cfg.system == "angel":
+                base /= ANGEL_COMPUTE_FACTOR
+        jitter = cfg.straggler_jitter
+        denom = max(1, cfg.workers - 1)
+        speed = base / (1.0 + jitter * rank / denom)
+        self._speed_cache[rank] = speed
+        return speed
+
+    def _work_seconds(self, rank: int, instances: float, iterations: float) -> float:
+        profile = self.info.compute
+        raw = instances * profile.per_instance_s + iterations * profile.per_iteration_s
+        return raw / self.worker_speed(rank)
+
+    def round_seconds(self, rank: int) -> float:
+        instances, iterations = self.algorithms[rank].round_work()
+        # Compute profiles are calibrated on *logical* data volumes.
+        return self._work_seconds(rank, instances * self.scale, iterations)
+
+    def eval_seconds(self, rank: int) -> float:
+        instances, iterations = self.algorithms[rank].eval_work()
+        profile = self.info.compute
+        raw = (
+            instances * self.scale * profile.per_instance_s * profile.eval_fraction
+            + iterations * profile.per_iteration_s
+        )
+        return raw / self.worker_speed(rank)
+
+    def epoch_seconds(self, rank: int) -> float:
+        """One full local training epoch (asynchronous executor)."""
+        shard = self.shards[rank]
+        return self._work_seconds(
+            rank, shard.n_rows * self.scale, shard.iterations_per_epoch
+        )
+
+    # ------------------------------------------------------------------
+    # Communication helpers
+    # ------------------------------------------------------------------
+    @property
+    def wire_bytes(self) -> int:
+        """Logical bytes of one statistic payload."""
+        if self.info.kind == "kmeans":
+            # Sufficient statistics: per-cluster sums + counts.
+            return self.info.k * (self.spec.n_features + 1) * 8
+        return self.info.param_bytes
+
+    def exchange(
+        self, rank: int, round_id: str, wire: np.ndarray, nbytes: int | None = None
+    ) -> Iterator:
+        """Generator: one synchronous FaaS exchange via the channel."""
+        if self.channel is None:
+            raise ConfigurationError("FaaS exchange requires a channel")
+        pattern = allreduce if self.config.pattern == "allreduce" else scatter_reduce
+        return pattern(
+            self.channel.store,
+            rank,
+            self.config.workers,
+            round_id,
+            wire,
+            logical_nbytes=self.wire_bytes if nbytes is None else nbytes,
+            reduce=self.algorithms[rank].reduce,
+            poll_interval=self.config.poll_interval_s,
+        )
+
+    def partition_key(self, rank: int) -> str:
+        return f"data/{self.config.dataset}/part_{rank:05d}"
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def record(self, rank: int, epoch: float, loss: float) -> None:
+        if not math.isfinite(loss):
+            loss = float("inf")
+        self.history.append(
+            LossPoint(time_s=self.engine.now, epoch=epoch, loss=loss, worker=rank)
+        )
+
+    def converged(self, loss: float) -> bool:
+        threshold = self.config.loss_threshold
+        return threshold is not None and math.isfinite(loss) and loss <= threshold

@@ -1,0 +1,120 @@
+"""The `train()` driver: build a job, simulate it, bill it, report it.
+
+This is the library's main entry point. Given a
+:class:`TrainingConfig` it constructs the simulated infrastructure for
+the configured platform, runs the worker processes to completion on the
+discrete-event engine, and returns a :class:`RunResult` with runtime,
+cost, convergence trajectory and the Figure-10 time breakdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.protocols import seed_global_model
+from repro.core.config import TrainingConfig
+from repro.core.context import JobContext, WorkerOutcome
+from repro.core.executor_faas import faas_async_worker, faas_bsp_worker
+from repro.core.executor_hybrid import hybrid_worker
+from repro.core.executor_iaas import iaas_worker
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+from repro.simulation.tracing import TimeBreakdown
+
+
+def train(config: TrainingConfig) -> RunResult:
+    """Run one simulated training job end to end."""
+    ctx = JobContext(config)
+    executor = _setup_platform(ctx)
+
+    procs = [
+        ctx.engine.spawn(executor(ctx, rank), name=f"worker-{rank}")
+        for rank in range(config.workers)
+    ]
+    ctx.engine.run()
+
+    duration = ctx.engine.now
+    _bill_job(ctx, procs, duration)
+
+    outcomes = [p.result for p in procs if isinstance(p.result, WorkerOutcome)]
+    if not outcomes:
+        raise ConfigurationError("no worker produced an outcome")
+    final_loss = float(np.median([o.final_loss for o in outcomes]))
+    epochs = max(o.epochs for o in outcomes)
+    rounds = max(o.rounds for o in outcomes)
+
+    traces = [p.trace for p in procs]
+    result = RunResult(
+        config=config,
+        converged=ctx.converged(final_loss),
+        final_loss=final_loss,
+        duration_s=duration,
+        cost_total=ctx.meter.total,
+        cost_breakdown=ctx.meter.breakdown(),
+        epochs=epochs,
+        comm_rounds=rounds,
+        history=ctx.history,
+        breakdown=TimeBreakdown.max_per_category(traces),
+        per_worker=traces,
+        checkpoints=ctx.checkpoint_count,
+        final_accuracy=_final_accuracy(ctx),
+    )
+    return result
+
+
+def _setup_platform(ctx: JobContext):
+    """Configure infrastructure and pick the executor for the platform."""
+    config = ctx.config
+    if config.platform == "faas":
+        ctx.setup_faas()
+        if config.protocol == "asp":
+            init = ctx.algorithms[0].params.astype(np.float64)
+            seed_global_model(ctx.channel.store, init, ctx.info.param_bytes)
+            return faas_async_worker
+        return faas_bsp_worker
+    if config.platform == "iaas":
+        ctx.setup_iaas()
+        return iaas_worker
+    if config.platform == "hybrid":
+        if config.algorithm.lower().replace("-", "_") not in ("ga_sgd", "ga", "sgd"):
+            raise ConfigurationError(
+                "the hybrid parameter-server architecture trains with GA-SGD "
+                "(Cirrus-style gradient pushes)"
+            )
+        ctx.setup_hybrid()
+        return hybrid_worker
+    raise ConfigurationError(f"unknown platform {config.platform!r}")
+
+
+def _bill_job(ctx: JobContext, procs, duration: float) -> None:
+    """Charge compute resources for the whole job at its end."""
+    config = ctx.config
+    meter = ctx.meter
+    if config.platform in ("faas", "hybrid"):
+        for proc in procs:
+            started = proc.started_at or 0.0
+            finished = proc.finished_at if proc.finished_at is not None else duration
+            meter.bill_lambda(
+                config.lambda_memory_gb, max(0.0, finished - started), invocations=1
+            )
+        if ctx.extra_invocations:
+            meter.bill_lambda(0.0, 0.0, invocations=ctx.extra_invocations)
+    if config.platform == "iaas":
+        meter.bill_vm(config.instance, duration, count=config.workers)
+    if config.platform == "hybrid":
+        meter.bill_vm(config.ps_instance, duration, count=1)
+    if ctx.channel is not None and ctx.channel.node is not None:
+        meter.bill_elasticache(ctx.channel.node, duration)
+
+
+def _final_accuracy(ctx: JobContext) -> float | None:
+    """Validation accuracy of worker 0's final model, when defined."""
+    algo = ctx.algorithms[0]
+    model = getattr(algo, "model", None)
+    if model is None or not hasattr(model, "accuracy"):
+        return None
+    shard = ctx.shards[0]
+    try:
+        return float(model.accuracy(algo.params, shard.X_val, shard.y_val))
+    except (TypeError, ValueError):  # pragma: no cover - defensive
+        return None

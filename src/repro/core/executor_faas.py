@@ -1,0 +1,132 @@
+"""FaaS (LambdaML) executors: BSP and asynchronous worker loops.
+
+The BSP loop is the paper's job execution sequence (§3.1): load data,
+compute statistics, send statistics, aggregate, update, repeat — with
+the Figure-5 lifetime monitor checkpointing to S3 and re-invoking when
+the 15-minute wall approaches.
+
+The asynchronous loop follows SIREN-style S-ASP (§3.2.4): a single
+global model lives in the channel; workers read-modify-write it per
+iteration with no coordination, decaying the learning rate 1/sqrt(T).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.comm.protocols import (
+    async_read_model,
+    async_should_stop,
+    async_signal_stop,
+    async_write_model,
+)
+from repro.core.bsp_loop import bsp_rounds
+from repro.core.context import JobContext, WorkerOutcome
+from repro.errors import FunctionTimeoutError
+from repro.faas.checkpoint import Checkpoint, checkpoint_bytes
+from repro.faas.runtime import REINVOKE_OVERHEAD_S, FunctionLifetime
+from repro.simulation.commands import Compute, Get, Put, Sleep
+from repro.utils.serialization import SizedPayload
+
+
+def faas_bsp_worker(ctx: JobContext, rank: int):
+    """Synchronous LambdaML worker (generator for the engine)."""
+    yield Sleep(ctx.startup_s, "startup")
+    lifetime = FunctionLifetime(ctx.limits, ctx.engine.now)
+    ctx.lifetimes[rank] = lifetime
+    yield Get(ctx.data_store, ctx.partition_key(rank), category="load")
+
+    def exchange(round_id: str, wire: np.ndarray, nbytes: int):
+        merged = yield from ctx.exchange(rank, round_id, wire, nbytes=nbytes)
+        return merged
+
+    def pre_round(epoch_float: float, rounds: int, local_loss: float):
+        """Figure-5 lifetime monitoring at every round boundary."""
+        round_estimate = ctx.round_seconds(rank)
+        if round_estimate > ctx.limits.lifetime_s - ctx.limits.checkpoint_margin_s:
+            raise FunctionTimeoutError(
+                f"a single round needs {round_estimate:.0f}s, which cannot fit in "
+                f"one {ctx.limits.lifetime_s:.0f}s function lifetime "
+                "(the paper's unsupported >15-minute-iteration case)"
+            )
+        if lifetime.needs_checkpoint(ctx.engine.now, round_estimate):
+            yield from checkpoint_and_reinvoke(
+                ctx, rank, ctx.algorithms[rank], epoch_float, rounds, local_loss
+            )
+            lifetime.reincarnate(ctx.engine.now)
+
+    outcome = yield from bsp_rounds(ctx, rank, exchange, pre_round=pre_round)
+    return outcome
+
+
+def checkpoint_and_reinvoke(
+    ctx: JobContext, rank: int, algo, epoch_float: float, rounds: int, local_loss: float
+):
+    """Figure-5 mechanism: save state to S3, self-trigger a successor."""
+    state = Checkpoint(
+        rank=rank,
+        epoch_float=epoch_float,
+        round_index=rounds,
+        params=algo.params.copy(),
+        last_local_loss=local_loss,
+    )
+    nbytes = checkpoint_bytes(ctx.info.param_bytes)
+    yield Put(ctx.data_store, state.key(), SizedPayload(state, nbytes), category="checkpoint")
+    # Cold start of the successor function plus reloading the checkpoint.
+    yield Sleep(REINVOKE_OVERHEAD_S, "checkpoint")
+    yield Get(ctx.data_store, state.key(), category="checkpoint")
+    ctx.checkpoint_count += 1
+    ctx.extra_invocations += 1
+
+
+def faas_async_worker(ctx: JobContext, rank: int):
+    """Asynchronous (S-ASP) LambdaML worker."""
+    cfg = ctx.config
+    algo = ctx.algorithms[rank]
+    model = algo.model
+    shard = ctx.shards[rank]
+    store = ctx.channel.store
+    iters_per_epoch = shard.iterations_per_epoch
+    per_iter_s = ctx.round_seconds(rank)  # GA round == one iteration
+
+    yield Sleep(ctx.startup_s, "startup")
+    ctx.lifetimes[rank] = FunctionLifetime(ctx.limits, ctx.engine.now)
+    yield Get(ctx.data_store, ctx.partition_key(rank), category="load")
+
+    yield Compute(ctx.eval_seconds(rank), "compute")
+    params = yield from async_read_model(store)
+    params = params.astype(algo.params.dtype)
+    local_loss = model.loss(params, shard.X_val, shard.y_val)
+    ctx.record(rank, 0.0, local_loss)
+
+    epoch = 0
+    rounds = 0
+    batches = iter(())
+    while epoch < cfg.max_epochs:
+        lr_t = cfg.lr / math.sqrt(epoch + 1.0)  # 1/sqrt(T) decay [104]
+        for _ in range(iters_per_epoch):
+            try:
+                X_batch, y_batch = next(batches)
+            except StopIteration:
+                batches = shard.epoch_batches()
+                X_batch, y_batch = next(batches)
+            grad = model.gradient(params, X_batch, y_batch)
+            params = params - (lr_t * grad).astype(params.dtype, copy=False)
+            yield Compute(per_iter_s, "compute")
+            yield from async_write_model(store, params, ctx.info.param_bytes)
+            fresh = yield from async_read_model(store)
+            params = fresh.astype(params.dtype)
+            rounds += 1
+        epoch += 1
+        yield Compute(ctx.eval_seconds(rank), "compute")
+        local_loss = model.loss(params, shard.X_val, shard.y_val)
+        ctx.record(rank, float(epoch), local_loss)
+        if ctx.converged(local_loss):
+            yield from async_signal_stop(store, rank)
+            break
+        stopped = yield from async_should_stop(store)
+        if stopped:
+            break
+    return WorkerOutcome(rank, float(epoch), rounds, local_loss)

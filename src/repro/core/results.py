@@ -1,0 +1,71 @@
+"""Run results: what every experiment consumes.
+
+A :class:`RunResult` carries the three axes the paper reports —
+wall-clock time to the loss threshold, dollar cost, and statistical
+trajectory (loss vs time / communication rounds) — plus the Figure-10
+style per-phase time breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TrainingConfig
+from repro.simulation.tracing import TimeBreakdown
+
+
+@dataclass
+class LossPoint:
+    """One observation of the validation loss during training."""
+
+    time_s: float
+    epoch: float
+    loss: float
+    worker: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated training job."""
+
+    config: TrainingConfig
+    converged: bool
+    final_loss: float
+    duration_s: float
+    cost_total: float
+    cost_breakdown: dict[str, float]
+    epochs: float
+    comm_rounds: int
+    history: list[LossPoint] = field(default_factory=list)
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    per_worker: list[TimeBreakdown] = field(default_factory=list)
+    checkpoints: int = 0
+    final_accuracy: float | None = None
+
+    @property
+    def startup_s(self) -> float:
+        return self.breakdown.get("startup")
+
+    @property
+    def duration_without_startup_s(self) -> float:
+        return max(0.0, self.duration_s - self.startup_s)
+
+    def loss_curve(self) -> list[tuple[float, float]]:
+        """(time, loss) pairs ordered by time (minimum loss per time)."""
+        points = sorted(self.history, key=lambda p: (p.time_s, p.loss))
+        return [(p.time_s, p.loss) for p in points]
+
+    def time_to_loss(self, threshold: float) -> float | None:
+        """First simulated time at which the loss dipped below threshold."""
+        for point in sorted(self.history, key=lambda p: p.time_s):
+            if point.loss <= threshold:
+                return point.time_s
+        return None
+
+    def summary(self) -> str:
+        state = "converged" if self.converged else "NOT converged"
+        return (
+            f"{self.config.describe()}: {state} at loss {self.final_loss:.4f} "
+            f"in {self.duration_s:.1f}s (epochs={self.epochs:.1f}, "
+            f"rounds={self.comm_rounds}, ${self.cost_total:.4f})"
+        )

@@ -1,0 +1,17 @@
+"""Datasets: Figure-6 logical specs plus synthetic physical generators."""
+
+from repro.data.datasets import DATASETS, DatasetSpec, get_spec
+from repro.data.loader import Shard, make_shards
+from repro.data.partition import partition_indices
+from repro.data.synth import TrainValSplit, generate
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "get_spec",
+    "TrainValSplit",
+    "generate",
+    "partition_indices",
+    "Shard",
+    "make_shards",
+]

@@ -1,0 +1,111 @@
+"""Worker-local data shards and minibatch iteration.
+
+A :class:`Shard` is what one executor holds after loading its partition
+from S3: a slice of the training matrix, a slice of the validation set
+(validation loss is averaged across workers at synchronisation points),
+and a deterministic minibatch sampler that reshuffles every epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.partition import partition_indices
+from repro.data.synth import TrainValSplit
+from repro.errors import ConfigurationError
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class Shard:
+    """One worker's local training/validation data."""
+
+    rank: int
+    X: object  # ndarray or CSR slice
+    y: np.ndarray
+    X_val: object
+    y_val: np.ndarray
+    batch_size: int
+    rng: np.random.Generator = field(repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.rng is None:
+            self.rng = make_rng(self.rank)
+
+    @property
+    def n_rows(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def iterations_per_epoch(self) -> int:
+        return max(1, -(-self.n_rows // self.batch_size))  # ceil division
+
+    def epoch_batches(self):
+        """Yield (X_batch, y_batch) covering the shard once, shuffled."""
+        order = self.rng.permutation(self.n_rows)
+        for start in range(0, self.n_rows, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.X[idx], self.y[idx]
+
+    def sample_batch(self):
+        """One uniformly sampled minibatch (for asynchronous executors)."""
+        idx = self.rng.choice(self.n_rows, size=min(self.batch_size, self.n_rows), replace=False)
+        return self.X[idx], self.y[idx]
+
+
+def make_shards(
+    split: TrainValSplit,
+    workers: int,
+    global_batch: int,
+    partition_mode: str = "iid",
+    skew: float = 0.8,
+    seed: int = 0,
+    min_local_batch: int = 1,
+) -> list[Shard]:
+    """Partition a dataset across `workers` executors.
+
+    `global_batch` is the paper-style global minibatch size; each worker
+    processes `global_batch / workers` rows per iteration (at least 1).
+    `min_local_batch` floors the per-worker batch: high-dimensional
+    workloads whose scaled-down physical batch would collapse to one
+    row (YFCC100M, Criteo at W=100) use a floor of ~32 so minibatch
+    statistics stay meaningful; this only affects the *statistics*, as
+    simulated compute time is charged on logical data volumes.
+    """
+    if global_batch < 1:
+        raise ConfigurationError(f"global_batch must be >= 1, got {global_batch}")
+    train_parts = partition_indices(
+        split.n_train,
+        workers,
+        mode=partition_mode,
+        labels=split.y_train,
+        skew=skew,
+        seed=seed,
+    )
+    val_parts = partition_indices(split.y_val.shape[0], workers, mode="iid", seed=seed + 1)
+    # Trim shards to a uniform size: synchronous (BSP) training requires
+    # every worker to run the identical number of iterations per epoch,
+    # otherwise the per-round rendezvous would deadlock. At most
+    # `workers - 1` rows are dropped.
+    train_size = min(len(p) for p in train_parts)
+    val_size = min(len(p) for p in val_parts)
+    train_parts = [p[:train_size] for p in train_parts]
+    val_parts = [p[:val_size] for p in val_parts]
+    local_batch = max(1, min_local_batch, round(global_batch / workers))
+    rngs = [make_rng(seed * 1000 + rank) for rank in range(workers)]
+    return [
+        Shard(
+            rank=rank,
+            X=split.X_train[train_parts[rank]],
+            y=split.y_train[train_parts[rank]],
+            X_val=split.X_val[val_parts[rank]],
+            y_val=split.y_val[val_parts[rank]],
+            batch_size=local_batch,
+            rng=rngs[rank],
+        )
+        for rank in range(workers)
+    ]

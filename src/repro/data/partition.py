@@ -1,0 +1,70 @@
+"""Partitioning training data across workers.
+
+The paper partitions data evenly (data parallelism). We additionally
+support a label-skewed ("non-iid") partitioner, used to reproduce the
+instability of model averaging on non-convex models (Section 4.2:
+"the convergence of MA-SGD is unstable").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import make_rng
+
+
+def partition_indices(
+    n: int,
+    workers: int,
+    mode: str = "iid",
+    labels: np.ndarray | None = None,
+    skew: float = 0.8,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """Split `range(n)` into `workers` disjoint shards.
+
+    mode="iid" shuffles uniformly. mode="label-skew" gives each worker
+    a shard in which roughly a `skew` fraction comes from its preferred
+    label bucket (labels assigned to workers round-robin); the rest is
+    uniform. Shards are always disjoint and cover all rows except at
+    most `workers - 1` remainder rows.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if workers > n:
+        raise ConfigurationError(f"more workers ({workers}) than rows ({n})")
+    rng = make_rng(seed)
+
+    if mode == "iid":
+        perm = rng.permutation(n)
+        return [np.sort(shard) for shard in np.array_split(perm, workers)]
+
+    if mode == "label-skew":
+        if labels is None:
+            raise ConfigurationError("label-skew partitioning requires labels")
+        if not 0.0 <= skew <= 1.0:
+            raise ConfigurationError(f"skew must be in [0, 1], got {skew}")
+        classes = np.unique(labels)
+        remaining = {c: list(rng.permutation(np.flatnonzero(labels == c))) for c in classes}
+        per_worker = n // workers
+        shards_rows: list[list[int]] = [[] for _ in range(workers)]
+        # Pass 1: fill each worker's skewed quota from its preferred class.
+        for rank in range(workers):
+            preferred = classes[rank % len(classes)]
+            quota = int(per_worker * skew)
+            source = remaining[preferred]
+            take = min(quota, len(source))
+            shards_rows[rank].extend(source[:take])
+            del source[:take]
+        # Pass 2: top everyone up uniformly from whatever is left.
+        leftovers = [idx for rows in remaining.values() for idx in rows]
+        leftovers = list(rng.permutation(np.asarray(leftovers, dtype=np.int64)))
+        for rank in range(workers):
+            need = per_worker - len(shards_rows[rank])
+            if need > 0:
+                shards_rows[rank].extend(leftovers[:need])
+                del leftovers[:need]
+        return [np.sort(np.asarray(rows, dtype=np.int64)) for rows in shards_rows]
+
+    raise ConfigurationError(f"unknown partition mode {mode!r}")

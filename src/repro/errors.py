@@ -1,0 +1,74 @@
+"""Exception hierarchy for the LambdaML reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class. Subsystems raise the most specific
+subclass available; simulated cloud-service failures (for example a
+Lambda timeout or a DynamoDB item-size rejection) are modelled as
+exceptions from this module rather than ad-hoc return codes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A training or infrastructure configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All live processes are blocked and no event can make progress."""
+
+
+class StorageError(ReproError):
+    """Base class for simulated storage-service failures."""
+
+
+class KeyNotFoundError(StorageError):
+    """A requested object key does not exist in the store."""
+
+
+class ItemTooLargeError(StorageError):
+    """An object exceeds the service's item-size limit (e.g. DynamoDB 400 KB)."""
+
+
+class ServiceNotStartedError(StorageError):
+    """The storage service has not finished its startup (e.g. ElastiCache)."""
+
+
+class FaaSError(ReproError):
+    """Base class for simulated FaaS (Lambda) failures."""
+
+
+class FunctionTimeoutError(FaaSError):
+    """A function exceeded its maximum lifetime without checkpointing."""
+
+
+class OutOfMemoryError(FaaSError):
+    """A function exceeded its configured memory limit."""
+
+
+class InvocationError(FaaSError):
+    """A function could not be invoked (bad payload, missing handler...)."""
+
+
+class IaaSError(ReproError):
+    """Base class for simulated IaaS (VM cluster) failures."""
+
+
+class ClusterError(IaaSError):
+    """The VM cluster is in an unusable state."""
+
+
+class CommunicationError(ReproError):
+    """A collective communication operation failed."""
+
+
+class ConvergenceError(ReproError):
+    """Training failed to reach the requested loss threshold in budget."""

@@ -1,0 +1,12 @@
+"""Experiment modules: one per table/figure of the paper.
+
+Each module exposes a `run(...)` function returning plain data
+structures (lists of rows / series) plus a `format_report(...)` helper
+that renders the same rows the paper reports. The benchmark harness in
+`benchmarks/` calls these with scaled-down settings; the functions also
+accept the full-scale parameters for longer runs.
+"""
+
+from repro.experiments.workloads import WORKLOADS, Workload, get_workload
+
+__all__ = ["WORKLOADS", "Workload", "get_workload"]

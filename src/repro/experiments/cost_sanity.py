@@ -1,0 +1,88 @@
+"""Section 5.1.1 "COST" sanity check (after McSherry et al.).
+
+Before trusting any scaled-up numbers, verify that the distributed
+configurations actually beat a competent single-machine baseline: train
+LR / SVM / KMeans on Higgs and MobileNet on Cifar10 with one worker and
+with ten workers, on both FaaS and IaaS, and report the speed-ups.
+
+The paper reports ~9-10x for the convex models on Higgs (10 workers)
+and ~5-7x for MobileNet, i.e. scaling is real but sublinear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import TrainingConfig
+from repro.core.driver import train
+from repro.experiments.report import format_table
+from repro.experiments.workloads import get_workload
+
+CASES = [
+    ("lr", "higgs"),
+    ("svm", "higgs"),
+    ("kmeans", "higgs"),
+    ("mobilenet", "cifar10"),
+]
+
+
+@dataclass
+class SanityRow:
+    workload: str
+    single_s: float
+    faas_s: float
+    iaas_s: float
+    faas_speedup: float
+    iaas_speedup: float
+
+
+def run_case(
+    model: str, dataset: str, workers: int = 10, max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> SanityRow:
+    workload = get_workload(model, dataset)
+    cap = max_epochs or workload.max_epochs
+
+    def config(system: str, w: int) -> TrainingConfig:
+        return TrainingConfig(
+            model=model,
+            dataset=dataset,
+            algorithm=workload.algorithm,
+            system=system,
+            workers=w,
+            channel="s3",
+            batch_size=workload.batch_size,
+            batch_scope=workload.batch_scope,
+            lr=workload.lr,
+            k=workload.k,
+            loss_threshold=workload.threshold,
+            max_epochs=cap,
+            seed=seed,
+        )
+
+    single = train(config("pytorch", 1))
+    faas = train(config("lambdaml", workers))
+    iaas = train(config("pytorch", workers))
+    return SanityRow(
+        workload=f"{model}/{dataset}",
+        single_s=single.duration_s,
+        faas_s=faas.duration_s,
+        iaas_s=iaas.duration_s,
+        faas_speedup=single.duration_s / faas.duration_s,
+        iaas_speedup=single.duration_s / iaas.duration_s,
+    )
+
+
+def run(cases=CASES, max_epochs: float | None = None, seed: int = 20210620):
+    return [run_case(m, d, max_epochs=max_epochs, seed=seed) for m, d in cases]
+
+
+def format_report(rows: list[SanityRow]) -> str:
+    return format_table(
+        "COST sanity check — 10 workers vs 1 machine",
+        ["workload", "1-machine(s)", "FaaS(s)", "IaaS(s)", "FaaS speedup", "IaaS speedup"],
+        [
+            [r.workload, r.single_s, r.faas_s, r.iaas_s, r.faas_speedup, r.iaas_speedup]
+            for r in rows
+        ],
+    )

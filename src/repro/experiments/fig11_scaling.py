@@ -1,0 +1,114 @@
+"""Figure 11: runtime vs cost as the worker count varies.
+
+Two representative profiles:
+
+* LR on Higgs — a communication-efficient workload. Adding workers
+  speeds both FaaS and IaaS up to a plateau (FaaS flattens around 100
+  workers); FaaS reaches lower runtimes but at comparable dollar cost.
+* MobileNet on Cifar10 — communication-heavy. The FaaS curve flattens
+  early; an IaaS GPU configuration dominates in both time and cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TrainingConfig
+from repro.core.driver import train
+from repro.experiments.report import format_table
+from repro.experiments.workloads import get_workload
+
+
+@dataclass
+class ScalingPoint:
+    system: str
+    instance: str | None
+    workers: int
+    runtime_s: float
+    cost: float
+    converged: bool
+
+
+@dataclass
+class ScalingProfile:
+    workload: str
+    points: list[ScalingPoint] = field(default_factory=list)
+
+
+def run_lr_higgs(
+    faas_workers=(10, 30, 50, 100),
+    iaas_workers=(1, 2, 5, 10, 20, 30),
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> ScalingProfile:
+    workload = get_workload("lr", "higgs")
+    cap = max_epochs or workload.max_epochs
+    profile = ScalingProfile(workload="lr/higgs")
+
+    def base(**kw):
+        return TrainingConfig(
+            model="lr", dataset="higgs", batch_size=workload.batch_size,
+            lr=workload.lr, loss_threshold=workload.threshold,
+            max_epochs=cap, seed=seed, **kw,
+        )
+
+    for w in faas_workers:
+        r = train(base(system="lambdaml", algorithm="admm", channel="s3", workers=w))
+        profile.points.append(
+            ScalingPoint("faas", None, w, r.duration_s, r.cost_total, r.converged)
+        )
+    for instance in ("t2.medium", "c5.4xlarge"):
+        for w in iaas_workers:
+            r = train(base(system="pytorch", algorithm="admm", instance=instance, workers=w))
+            profile.points.append(
+                ScalingPoint("iaas", instance, w, r.duration_s, r.cost_total, r.converged)
+            )
+    return profile
+
+
+def run_mobilenet(
+    faas_workers=(5, 10, 20),
+    gpu_workers=(1, 2, 5, 10),
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> ScalingProfile:
+    workload = get_workload("mobilenet", "cifar10")
+    cap = max_epochs or workload.max_epochs
+    profile = ScalingProfile(workload="mobilenet/cifar10")
+
+    def base(**kw):
+        return TrainingConfig(
+            model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
+            batch_size=workload.batch_size, batch_scope=workload.batch_scope,
+            lr=workload.lr, loss_threshold=workload.threshold,
+            max_epochs=cap, seed=seed, **kw,
+        )
+
+    for w in faas_workers:
+        r = train(base(system="lambdaml", channel="memcached", workers=w))
+        profile.points.append(
+            ScalingPoint("faas", None, w, r.duration_s, r.cost_total, r.converged)
+        )
+    for w in gpu_workers:
+        r = train(base(system="pytorch", instance="g3s.xlarge", workers=w))
+        profile.points.append(
+            ScalingPoint("iaas-gpu", "g3s.xlarge", w, r.duration_s, r.cost_total, r.converged)
+        )
+    return profile
+
+
+def format_report(profiles: list[ScalingProfile]) -> str:
+    blocks = []
+    for profile in profiles:
+        rows = [
+            [p.system, p.instance, p.workers, p.runtime_s, p.cost, p.converged]
+            for p in profile.points
+        ]
+        blocks.append(
+            format_table(
+                f"Figure 11 — runtime vs cost, {profile.workload}",
+                ["system", "instance", "workers", "runtime(s)", "cost($)", "converged"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)

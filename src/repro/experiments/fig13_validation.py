@@ -1,0 +1,176 @@
+"""Figure 13: validation of the analytical model.
+
+(a) Fix the number of epochs (1..100) for LR on Higgs with 10 workers
+    and compare the analytical prediction against the simulated actual
+    runtime, for both LambdaML (FaaS) and distributed PyTorch (IaaS).
+
+(b) Use the 10%-sampling estimator to predict epochs-to-threshold for
+    LR/SVM on Higgs/YFCC100M under both SGD and ADMM, then feed the
+    estimates through the analytical model and compare against the
+    simulated end-to-end runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.estimator import SamplingEstimator
+from repro.analytics.model import AnalyticalModel, WorkloadParams
+from repro.core.config import TrainingConfig
+from repro.core.driver import train
+from repro.data.datasets import get_spec
+from repro.experiments.report import format_table
+from repro.experiments.workloads import get_workload
+from repro.models.zoo import get_model_info
+
+
+def _params_for(model: str, dataset: str, algorithm: str, workers: int) -> WorkloadParams:
+    """Assemble analytical-model inputs from the zoo profiles."""
+    spec = get_spec(dataset)
+    info = get_model_info(model, dataset)
+    # C: single-worker seconds per epoch on the reference worker.
+    compute = spec.n_instances * info.compute.per_instance_s
+    rounds = 1.0
+    if algorithm == "admm":
+        rounds = 1.0 / 10.0  # one exchange per ten scans
+    return WorkloadParams(
+        dataset_bytes=spec.size_bytes,
+        model_bytes=info.param_bytes,
+        epochs_faas=1.0,
+        epochs_iaas=1.0,
+        compute_faas_s=compute,
+        compute_iaas_s=compute,
+        rounds_per_epoch=rounds,
+        channel="s3",
+        network="t2",
+    )
+
+
+@dataclass
+class ValidationPoint:
+    epochs: float
+    faas_actual_s: float
+    faas_predicted_s: float
+    iaas_actual_s: float
+    iaas_predicted_s: float
+
+
+def run_fixed_epochs(
+    epoch_grid=(1, 5, 10, 25, 50, 100),
+    workers: int = 10,
+    seed: int = 20210620,
+) -> list[ValidationPoint]:
+    """Figure 13a: predicted vs actual runtime at fixed epoch counts."""
+    workload = get_workload("lr", "higgs")
+    params = _params_for("lr", "higgs", "ma_sgd", workers)
+    model = AnalyticalModel(params)
+    points = []
+    for epochs in epoch_grid:
+        faas = train(
+            TrainingConfig(
+                model="lr", dataset="higgs", algorithm="ma_sgd", system="lambdaml",
+                workers=workers, channel="s3", batch_size=workload.batch_size,
+                lr=workload.lr, loss_threshold=None, max_epochs=float(epochs), seed=seed,
+            )
+        )
+        iaas = train(
+            TrainingConfig(
+                model="lr", dataset="higgs", algorithm="ma_sgd", system="pytorch",
+                workers=workers, instance="t2.medium", batch_size=workload.batch_size,
+                lr=workload.lr, loss_threshold=None, max_epochs=float(epochs), seed=seed,
+            )
+        )
+        scaled = WorkloadParams(
+            **{**params.__dict__, "epochs_faas": float(epochs), "epochs_iaas": float(epochs)}
+        )
+        scaled_model = AnalyticalModel(scaled)
+        points.append(
+            ValidationPoint(
+                epochs=float(epochs),
+                faas_actual_s=faas.duration_s,
+                faas_predicted_s=scaled_model.faas_seconds(workers),
+                iaas_actual_s=iaas.duration_s,
+                iaas_predicted_s=scaled_model.iaas_seconds(workers),
+            )
+        )
+    return points
+
+
+@dataclass
+class EstimatorPoint:
+    workload: str
+    algorithm: str
+    estimated_epochs: float
+    actual_epochs: float
+    predicted_runtime_s: float
+    actual_runtime_s: float
+
+
+def run_estimator(
+    cases=(("lr", "higgs"), ("svm", "higgs")),
+    algorithms=("ma_sgd", "admm"),
+    workers: int = 10,
+    seed: int = 20210620,
+) -> list[EstimatorPoint]:
+    """Figure 13b: sampling estimator + analytical model vs simulation."""
+    estimator = SamplingEstimator(sample_fraction=0.1, seed=seed)
+    points = []
+    for model_name, dataset in cases:
+        workload = get_workload(model_name, dataset)
+        for algorithm in algorithms:
+            estimate = estimator.estimate(
+                model_name, dataset, algorithm,
+                lr=workload.lr, threshold=workload.threshold,
+                batch_size=max(32, workload.batch_size // 100),
+                max_epochs=workload.max_epochs,
+            )
+            actual = train(
+                TrainingConfig(
+                    model=model_name, dataset=dataset, algorithm=algorithm,
+                    system="lambdaml", workers=workers, channel="s3",
+                    batch_size=workload.batch_size, lr=workload.lr,
+                    loss_threshold=workload.threshold,
+                    max_epochs=workload.max_epochs, seed=seed,
+                )
+            )
+            params = _params_for(model_name, dataset, algorithm, workers)
+            scaled = WorkloadParams(
+                **{
+                    **params.__dict__,
+                    "epochs_faas": estimate.epochs,
+                    "epochs_iaas": estimate.epochs,
+                }
+            )
+            predicted = AnalyticalModel(scaled).faas_seconds(workers)
+            points.append(
+                EstimatorPoint(
+                    workload=f"{model_name}/{dataset}",
+                    algorithm=algorithm,
+                    estimated_epochs=estimate.epochs,
+                    actual_epochs=actual.epochs,
+                    predicted_runtime_s=predicted,
+                    actual_runtime_s=actual.duration_s,
+                )
+            )
+    return points
+
+
+def format_report(points: list[ValidationPoint], est: list[EstimatorPoint]) -> str:
+    a = format_table(
+        "Figure 13a — analytical model vs simulated runtime (LR, Higgs, W=10)",
+        ["epochs", "FaaS actual", "FaaS predicted", "IaaS actual", "IaaS predicted"],
+        [
+            [p.epochs, p.faas_actual_s, p.faas_predicted_s, p.iaas_actual_s, p.iaas_predicted_s]
+            for p in points
+        ],
+    )
+    b = format_table(
+        "Figure 13b — sampling estimator + analytical model",
+        ["workload", "algorithm", "est epochs", "actual epochs", "predicted(s)", "actual(s)"],
+        [
+            [p.workload, p.algorithm, p.estimated_epochs, p.actual_epochs,
+             p.predicted_runtime_s, p.actual_runtime_s]
+            for p in est
+        ],
+    )
+    return a + "\n\n" + b

@@ -1,0 +1,100 @@
+"""Figure 14 (Q1): what if FaaS-IaaS communication reached 10 Gbps?
+
+Evaluated analytically, as in the paper: we plug the 10 Gbps link into
+the hybrid model's communication term for LR/YFCC100M and
+MobileNet/Cifar10 and compare runtime/cost against today's hybrid,
+pure FaaS, IaaS, and IaaS-GPU.
+
+Expected shape: for LR/YFCC, even the 10 Gbps hybrid loses to pure
+FaaS (which skips the PS VM's start-up and runs ADMM); for MobileNet it
+lands ~10% faster than CPU IaaS but still behind the GPU; with a
+hypothetical GPU-FaaS at g3s.xlarge pricing it would become ~18%
+cheaper than GPU IaaS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.casestudy import (
+    HybridModel,
+    q1_fast_hybrid,
+    q1_gpu_faas_cost,
+)
+from repro.analytics.model import AnalyticalModel, WorkloadParams
+from repro.data.datasets import get_spec
+from repro.experiments.report import format_table
+from repro.models.zoo import get_model_info
+from repro.pricing.catalog import DEFAULT_CATALOG
+
+
+def _workload_params(model: str, dataset: str, epochs: float, rounds_per_epoch: float,
+                     gpu: bool = False) -> WorkloadParams:
+    spec = get_spec(dataset)
+    info = get_model_info(model, dataset)
+    compute = spec.n_instances * info.compute.per_instance_s
+    compute_iaas = compute / (info.compute.gpu_speedup_m60 if gpu else 1.0)
+    return WorkloadParams(
+        dataset_bytes=spec.size_bytes,
+        model_bytes=info.param_bytes,
+        epochs_faas=epochs,
+        epochs_iaas=epochs,
+        compute_faas_s=compute,
+        compute_iaas_s=compute_iaas,
+        rounds_per_epoch=rounds_per_epoch,
+        channel="elasticache" if model in ("mobilenet", "resnet50") else "s3",
+        network="c5",
+    )
+
+
+@dataclass
+class CaseStudyRow:
+    workload: str
+    system: str
+    runtime_s: float
+    cost: float
+
+
+def run(workers_lr: int = 100, workers_mn: int = 10) -> list[CaseStudyRow]:
+    rows: list[CaseStudyRow] = []
+
+    # LR on YFCC100M: ADMM on FaaS (one exchange per ten epochs).
+    lr_params = _workload_params("lr", "yfcc100m", epochs=20.0, rounds_per_epoch=0.1)
+    for system, (runtime, cost) in q1_fast_hybrid(lr_params, workers_lr).items():
+        rows.append(CaseStudyRow("lr/yfcc100m", system, runtime, cost))
+
+    # MobileNet on Cifar10: GA-SGD syncs every batch (~47 rounds/epoch).
+    mn_params = _workload_params("mobilenet", "cifar10", epochs=30.0, rounds_per_epoch=47.0)
+    for system, (runtime, cost) in q1_fast_hybrid(mn_params, workers_mn).items():
+        rows.append(CaseStudyRow("mobilenet/cifar10", system, runtime, cost))
+
+    # IaaS on GPU for MobileNet, and the hypothetical GPU-FaaS pricing.
+    mn_gpu = _workload_params("mobilenet", "cifar10", epochs=30.0, rounds_per_epoch=47.0, gpu=True)
+    gpu_model = AnalyticalModel(mn_gpu)
+    gpu_runtime = gpu_model.iaas_seconds(workers_mn)
+    gpu_cost = workers_mn * DEFAULT_CATALOG.ec2_price("g3s.xlarge") * gpu_runtime / 3600.0
+    rows.append(CaseStudyRow("mobilenet/cifar10", "iaas-gpu", gpu_runtime, gpu_cost))
+
+    hybrid_10g = HybridModel(
+        mn_params, faas_vm_bandwidth=1250 * 1024 * 1024, serdes_bandwidth=1250 * 1024 * 1024
+    )
+    runtime_10g = hybrid_10g.seconds(workers_mn)
+    rows.append(
+        CaseStudyRow(
+            "mobilenet/cifar10", "gpu-faas (hypothetical)",
+            runtime_10g / get_model_info("mobilenet", "cifar10").compute.gpu_speedup_m60,
+            q1_gpu_faas_cost(
+                runtime_10g / get_model_info("mobilenet", "cifar10").compute.gpu_speedup_m60,
+                workers_mn,
+            ),
+        )
+    )
+    return rows
+
+
+def format_report(rows: list[CaseStudyRow]) -> str:
+    return format_table(
+        "Figure 14 — Q1: 10 Gbps FaaS<->IaaS what-if (analytical)",
+        ["workload", "system", "runtime(s)", "cost($)"],
+        [[r.workload, r.system, r.runtime_s, r.cost] for r in rows],
+    )

@@ -1,0 +1,143 @@
+"""Figure 9: end-to-end comparison of systems on the Table-4 workloads.
+
+Competitors per workload (§5.1): LambdaML (pure FaaS, best algorithm),
+distributed PyTorch running both SGD and ADMM (IaaS), Angel (IaaS
+parameter server on Hadoop), HybridPS (Cirrus-style), and PyTorch on
+GPU instances for the deep models.
+
+Expected shape (§5.2): on communication-efficient convex workloads
+LambdaML converges first thanks to ~1 s start-up and ADMM; Angel is
+slowest (start-up + HDFS + compute); HybridPS beats plain PyTorch for
+small models; for MobileNet/ResNet the hybrid is serdes-bound, PyTorch
+beats LambdaML, and PyTorch-GPU wins outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TrainingConfig
+from repro.core.driver import train
+from repro.core.results import RunResult
+from repro.experiments.report import format_series, format_table
+from repro.experiments.workloads import Workload, get_workload
+
+
+@dataclass
+class EndToEndPanel:
+    """One Figure-9 subplot: every system on one workload."""
+
+    workload: str
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+
+def _system_configs(workload: Workload, workers: int, max_epochs: float, seed: int):
+    """Yield (label, TrainingConfig) pairs for one panel."""
+    deep = workload.model in ("mobilenet", "resnet50")
+    base = dict(
+        model=workload.model,
+        dataset=workload.dataset,
+        workers=workers,
+        batch_size=workload.batch_size,
+        batch_scope=workload.batch_scope,
+        lr=workload.lr,
+        k=workload.k,
+        loss_threshold=workload.threshold,
+        max_epochs=max_epochs,
+        seed=seed,
+    )
+    best_algo = workload.algorithm
+    if workload.algorithm == "em":
+        sgd_algo = "em"  # k-means trains with EM on every platform
+    else:
+        sgd_algo = "ga_sgd" if deep else "ma_sgd"
+
+    yield "lambdaml", TrainingConfig(
+        system="lambdaml", algorithm=best_algo, channel="s3", **base
+    )
+    yield "pytorch-sgd", TrainingConfig(
+        system="pytorch", algorithm=sgd_algo, instance="t2.medium", **base
+    )
+    if not deep and workload.algorithm == "admm":
+        yield "pytorch-admm", TrainingConfig(
+            system="pytorch", algorithm="admm", instance="t2.medium", **base
+        )
+    if workload.algorithm != "em":
+        yield "hybridps", TrainingConfig(system="hybridps", algorithm="ga_sgd", **base)
+    yield "angel", TrainingConfig(
+        system="angel", algorithm=sgd_algo, instance="t2.medium", **base
+    )
+    if deep:
+        yield "pytorch-gpu", TrainingConfig(
+            system="pytorch", algorithm="ga_sgd", instance="g3s.xlarge", **base
+        )
+
+
+def run_panel(
+    model: str,
+    dataset: str,
+    workers: int | None = None,
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> EndToEndPanel:
+    workload = get_workload(model, dataset)
+    w = workers if workers is not None else workload.workers
+    cap = max_epochs if max_epochs is not None else workload.max_epochs
+    panel = EndToEndPanel(workload=f"{model}/{dataset},W={w}")
+    for label, config in _system_configs(workload, w, cap, seed):
+        panel.results[label] = train(config)
+    return panel
+
+
+# The paper's twelve panels (Figure 9 a-l).
+ALL_PANELS = [
+    ("lr", "higgs"),
+    ("svm", "higgs"),
+    ("kmeans", "higgs"),
+    ("lr", "rcv1"),
+    ("svm", "rcv1"),
+    ("kmeans", "rcv1"),
+    ("lr", "yfcc100m"),
+    ("svm", "yfcc100m"),
+    ("kmeans", "yfcc100m"),
+    ("lr", "criteo"),
+    ("mobilenet", "cifar10"),
+    ("resnet50", "cifar10"),
+]
+
+
+def run(
+    panels=ALL_PANELS,
+    workers_cap: int | None = None,
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> list[EndToEndPanel]:
+    out = []
+    for model, dataset in panels:
+        workload = get_workload(model, dataset)
+        w = workload.workers if workers_cap is None else min(workload.workers, workers_cap)
+        out.append(run_panel(model, dataset, workers=w, max_epochs=max_epochs, seed=seed))
+    return out
+
+
+def format_report(panels: list[EndToEndPanel]) -> str:
+    blocks = []
+    for panel in panels:
+        rows = [
+            [name, r.converged, r.final_loss, r.duration_s, r.cost_total, r.epochs]
+            for name, r in panel.results.items()
+        ]
+        blocks.append(
+            format_table(
+                f"Figure 9 — {panel.workload}",
+                ["system", "converged", "loss", "time(s)", "cost($)", "epochs"],
+                rows,
+            )
+        )
+        blocks.append(
+            format_series(
+                f"Loss vs time — {panel.workload}",
+                {name: r.loss_curve() for name, r in panel.results.items()},
+            )
+        )
+    return "\n\n".join(blocks)

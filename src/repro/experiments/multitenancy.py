@@ -1,0 +1,103 @@
+"""Q3 extension: multi-tenant / peaky training workloads.
+
+The paper leaves multi-tenancy to future work but sketches the
+hypothesis: with many independent training jobs arriving in bursts,
+FaaS's on-demand start-up should beat both a reserved cluster (pays for
+idle valleys) and on-demand VMs (pays start-up latency per job).
+
+We evaluate that hypothesis analytically: a day-long horizon receives
+bursts of identical jobs (the LR/Higgs workload); we compare
+
+* **faas** — every job starts its own Lambda fleet on arrival;
+* **iaas-reserved** — a cluster sized for the peak is held all day;
+* **iaas-ondemand** — a cluster boots per job and is released after.
+
+Metrics: mean job latency (queueing + start-up + run) and total cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.model import AnalyticalModel, WorkloadParams
+from repro.pricing.catalog import DEFAULT_CATALOG
+
+HORIZON_S = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class ArrivalPattern:
+    """Deterministic bursts: `burst_jobs` jobs arrive together every
+    `burst_interval_s`, e.g. nightly retraining of per-tenant models."""
+
+    burst_jobs: int = 8
+    burst_interval_s: float = 4 * 3600.0
+
+    def arrivals(self) -> list[float]:
+        times = []
+        t = 0.0
+        while t < HORIZON_S:
+            times.extend([t] * self.burst_jobs)
+            t += self.burst_interval_s
+        return times
+
+
+@dataclass
+class TenancyOutcome:
+    platform: str
+    mean_latency_s: float
+    total_cost: float
+    jobs: int
+
+
+def run(
+    params: WorkloadParams,
+    workers: int = 10,
+    pattern: ArrivalPattern = ArrivalPattern(),
+    lambda_memory_gb: float = 3.0,
+    instance: str = "t2.medium",
+) -> list[TenancyOutcome]:
+    model = AnalyticalModel(params)
+    arrivals = pattern.arrivals()
+    n_jobs = len(arrivals)
+
+    faas_latency = model.faas_seconds(workers)
+    faas_cost_per_job = model.faas_cost(workers, lambda_memory_gb)
+    outcomes = [
+        TenancyOutcome("faas", faas_latency, n_jobs * faas_cost_per_job, n_jobs)
+    ]
+
+    # Reserved cluster: no start-up per job (paid once, before the
+    # horizon), but one job at a time — bursts queue.
+    run_seconds = model.iaas_seconds(workers) - model.constants.startup_iaas(workers)
+    hourly = DEFAULT_CATALOG.ec2_price(instance)
+    free_at = 0.0
+    total_latency = 0.0
+    for arrival in arrivals:
+        start = max(arrival, free_at)
+        finish = start + run_seconds
+        total_latency += finish - arrival
+        free_at = finish
+    reserved_cost = workers * hourly * max(HORIZON_S, free_at) / 3600.0
+    outcomes.append(
+        TenancyOutcome("iaas-reserved", total_latency / n_jobs, reserved_cost, n_jobs)
+    )
+
+    # On-demand VMs: each job boots its own cluster; jobs run in
+    # parallel but every one eats t_I(w) of latency and billed time.
+    ondemand_latency = model.iaas_seconds(workers)
+    ondemand_cost = n_jobs * workers * hourly * ondemand_latency / 3600.0
+    outcomes.append(
+        TenancyOutcome("iaas-ondemand", ondemand_latency, ondemand_cost, n_jobs)
+    )
+    return outcomes
+
+
+def format_report(outcomes: list[TenancyOutcome]) -> str:
+    from repro.experiments.report import format_table
+
+    return format_table(
+        "Q3 extension — multi-tenant peaky workload (analytical)",
+        ["platform", "mean latency (s)", "total cost ($)", "jobs"],
+        [[o.platform, o.mean_latency_s, o.total_cost, o.jobs] for o in outcomes],
+    )

@@ -1,0 +1,144 @@
+"""Table 1: communication channels — S3 vs Memcached vs DynamoDB vs VM-PS.
+
+For each workload we run the identical training job over each channel
+and report the *slowdown* and *relative cost* with respect to S3
+(values > 1 mean S3 is faster / cheaper). DynamoDB rows come out N/A
+whenever the model exceeds its 400 KB item limit, reproducing the
+paper's "DynamoDB cannot handle a large model such as MobileNet".
+
+The qualitative expectations: Memcached and the VM parameter server pay
+startup (minutes) that dominates short jobs, making S3 cheaper and
+faster end-to-end; on long jobs (MobileNet) Memcached's low latency
+wins; DynamoDB tracks S3 closely for tiny models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import TrainingConfig
+from repro.core.driver import train
+from repro.core.results import RunResult
+from repro.errors import ItemTooLargeError, StorageError
+from repro.experiments.report import format_table, ratio
+from repro.experiments.workloads import get_workload
+
+CHANNELS = ("s3", "memcached", "dynamodb")
+
+
+@dataclass
+class ChannelRow:
+    """One Table-1 row: a workload across channels, relative to S3."""
+
+    workload: str
+    workers: int
+    s3_time: float
+    s3_cost: float
+    slowdown: dict[str, float | None]
+    rel_cost: dict[str, float | None]
+
+
+def run_workload(
+    model: str,
+    dataset: str,
+    workers: int,
+    k: int = 10,
+    max_epochs: float | None = None,
+    include_hybrid: bool = True,
+    seed: int = 20210620,
+) -> ChannelRow:
+    workload = get_workload(model, dataset)
+    results: dict[str, RunResult | None] = {}
+
+    def make_config(**overrides) -> TrainingConfig:
+        return TrainingConfig(
+            model=model,
+            dataset=dataset,
+            algorithm=overrides.pop("algorithm", workload.algorithm),
+            system=overrides.pop("system", "lambdaml"),
+            workers=workers,
+            batch_size=workload.batch_size,
+            batch_scope=workload.batch_scope,
+            lr=workload.lr,
+            k=k if model == "kmeans" else workload.k,
+            loss_threshold=workload.threshold,
+            max_epochs=max_epochs or workload.max_epochs,
+            seed=seed,
+            **overrides,
+        )
+
+    for channel in CHANNELS:
+        try:
+            results[channel] = train(make_config(channel=channel))
+        except (ItemTooLargeError, StorageError):
+            results[channel] = None  # N/A in the paper's table
+    if include_hybrid and workload.algorithm != "em":
+        # The VM-PS column trains with Cirrus-style GA-SGD pushes.
+        results["vm-ps"] = train(make_config(system="hybridps", algorithm="ga_sgd"))
+    else:
+        results["vm-ps"] = None
+
+    s3 = results["s3"]
+    slowdown = {}
+    rel_cost = {}
+    for name, result in results.items():
+        if name == "s3":
+            continue
+        slowdown[name] = ratio(result.duration_s if result else None, s3.duration_s)
+        rel_cost[name] = ratio(result.cost_total if result else None, s3.cost_total)
+    return ChannelRow(
+        workload=f"{model}/{dataset}" + (f",k={k}" if model == "kmeans" else ""),
+        workers=workers,
+        s3_time=s3.duration_s,
+        s3_cost=s3.cost_total,
+        slowdown=slowdown,
+        rel_cost=rel_cost,
+    )
+
+
+def run(scaled: bool = True, seed: int = 20210620) -> list[ChannelRow]:
+    """All Table-1 rows (scaled=True shrinks worker counts for CI)."""
+    w_small, w_large = (10, 50)
+    rows = [
+        run_workload("lr", "higgs", w_small, seed=seed),
+        run_workload("lr", "higgs", w_large, seed=seed),
+        run_workload("kmeans", "higgs", w_large, k=10, seed=seed),
+        run_workload("kmeans", "higgs", w_large, k=1000, max_epochs=10, seed=seed),
+        run_workload(
+            "mobilenet", "cifar10", 10, max_epochs=6 if scaled else None, seed=seed
+        ),
+    ]
+    if not scaled:
+        rows.append(run_workload("mobilenet", "cifar10", 50, seed=seed))
+    return rows
+
+
+def format_report(rows: list[ChannelRow]) -> str:
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.workload,
+                row.workers,
+                row.rel_cost.get("memcached"),
+                row.slowdown.get("memcached"),
+                row.rel_cost.get("dynamodb"),
+                row.slowdown.get("dynamodb"),
+                row.rel_cost.get("vm-ps"),
+                row.slowdown.get("vm-ps"),
+            ]
+        )
+    return format_table(
+        "Table 1 — channel cost/slowdown relative to S3 (>1 means S3 wins)",
+        [
+            "workload",
+            "W",
+            "memcached cost",
+            "memcached slow",
+            "dynamodb cost",
+            "dynamodb slow",
+            "vm-ps cost",
+            "vm-ps slow",
+        ],
+        table_rows,
+    )

@@ -1,0 +1,90 @@
+"""Table 2: Lambda <-> VM parameter-server communication micro-benchmark.
+
+75 MB transfers between Lambda functions (1 GB / 3 GB memory) and a PS
+on t2.2xlarge / c5.4xlarge over gRPC and Thrift, with 1 and 10
+concurrent workers. Reports data-transmission time and model-update
+time, straight from :class:`PSTimingModel` — the same model the hybrid
+executor uses, so the micro-benchmark and the end-to-end runs are
+consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.iaas.ps import PSTimingModel
+from repro.iaas.vm import get_instance
+
+MB = 1024 * 1024
+PAYLOAD_BYTES = 75 * MB
+
+CONFIGS = [
+    # (n_lambdas, lambda_memory_gb, ps_instance)
+    (1, 3.0, "t2.2xlarge"),
+    (1, 1.0, "t2.2xlarge"),
+    (1, 3.0, "c5.4xlarge"),
+    (1, 1.0, "c5.4xlarge"),
+    (10, 3.0, "t2.2xlarge"),
+    (10, 1.0, "t2.2xlarge"),
+    (10, 3.0, "c5.4xlarge"),
+    (10, 1.0, "c5.4xlarge"),
+]
+
+
+@dataclass
+class RPCRow:
+    """One Table-2 row."""
+
+    n_lambdas: int
+    lambda_memory_gb: float
+    ps_instance: str
+    grpc_transfer_s: float
+    thrift_transfer_s: float
+    grpc_update_s: float
+    thrift_update_s: float
+
+
+def run(payload_bytes: int = PAYLOAD_BYTES) -> list[RPCRow]:
+    rows = []
+    for n, mem, instance in CONFIGS:
+        timings = {}
+        for rpc in ("grpc", "thrift"):
+            model = PSTimingModel(
+                instance=get_instance(instance), rpc=rpc, lambda_memory_gb=mem
+            )
+            timings[rpc] = (
+                model.data_transmission_s(payload_bytes, n),
+                model.model_update_s(payload_bytes, n),
+            )
+        rows.append(
+            RPCRow(
+                n_lambdas=n,
+                lambda_memory_gb=mem,
+                ps_instance=instance,
+                grpc_transfer_s=timings["grpc"][0],
+                thrift_transfer_s=timings["thrift"][0],
+                grpc_update_s=timings["grpc"][1],
+                thrift_update_s=timings["thrift"][1],
+            )
+        )
+    return rows
+
+
+def format_report(rows: list[RPCRow]) -> str:
+    return format_table(
+        "Table 2 — Lambda<->PS communication, 75 MB (gRPC / Thrift)",
+        ["lambdas", "mem(GB)", "EC2", "xfer gRPC(s)", "xfer Thrift(s)", "upd gRPC(s)", "upd Thrift(s)"],
+        [
+            [
+                r.n_lambdas,
+                r.lambda_memory_gb,
+                r.ps_instance,
+                r.grpc_transfer_s,
+                r.thrift_transfer_s,
+                r.grpc_update_s,
+                r.thrift_update_s,
+            ]
+            for r in rows
+        ],
+    )

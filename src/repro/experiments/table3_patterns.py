@@ -1,0 +1,87 @@
+"""Table 3: AllReduce vs ScatterReduce over the storage channel.
+
+Measures the simulated time of a *single* aggregation exchange (the
+paper reports per-round communication time) for three model sizes:
+LR on Higgs (224 B), MobileNet (12 MB) and ResNet50 (89 MB), using S3.
+
+Expected shape: for tiny and medium models the two patterns tie (or
+ScatterReduce loses slightly to its extra partitioning requests); for
+ResNet50 the single leader of AllReduce becomes the bottleneck and
+ScatterReduce is about twice as fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.patterns import allreduce, scatter_reduce
+from repro.models.zoo import get_model_info
+from repro.simulation.engine import Engine
+from repro.storage.services import make_channel
+
+CASES = [
+    # (label, model, dataset, workers)
+    ("LR,Higgs,W=50", "lr", "higgs", 50),
+    ("MobileNet,Cifar10,W=10", "mobilenet", "cifar10", 10),
+    ("ResNet,Cifar10,W=10", "resnet50", "cifar10", 10),
+]
+
+
+@dataclass
+class PatternRow:
+    label: str
+    model_bytes: int
+    allreduce_s: float
+    scatter_reduce_s: float
+
+
+def measure_exchange(pattern_name: str, workers: int, logical_nbytes: int) -> float:
+    """Simulated wall time for one exchange across `workers` workers."""
+    engine = Engine()
+    channel = make_channel("s3")
+    vector = np.zeros(max(8, min(logical_nbytes // 8, 4096)))
+    pattern = allreduce if pattern_name == "allreduce" else scatter_reduce
+
+    def worker(rank: int):
+        merged = yield from pattern(
+            channel.store,
+            rank,
+            workers,
+            "bench",
+            vector,
+            logical_nbytes=logical_nbytes,
+            reduce="mean",
+        )
+        return merged
+
+    for rank in range(workers):
+        engine.spawn(worker(rank), name=f"w{rank}")
+    engine.run()
+    return engine.now
+
+
+def run() -> list[PatternRow]:
+    rows = []
+    for label, model, dataset, workers in CASES:
+        info = get_model_info(model, dataset)
+        rows.append(
+            PatternRow(
+                label=label,
+                model_bytes=info.param_bytes,
+                allreduce_s=measure_exchange("allreduce", workers, info.param_bytes),
+                scatter_reduce_s=measure_exchange("scatterreduce", workers, info.param_bytes),
+            )
+        )
+    return rows
+
+
+def format_report(rows: list[PatternRow]) -> str:
+    from repro.experiments.report import format_table
+
+    return format_table(
+        "Table 3 — communication patterns over S3 (one exchange)",
+        ["workload", "model size (B)", "AllReduce (s)", "ScatterReduce (s)"],
+        [[r.label, r.model_bytes, r.allreduce_s, r.scatter_reduce_s] for r in rows],
+    )

@@ -1,0 +1,15 @@
+"""Simulated FaaS (AWS-Lambda-like) runtime substrate."""
+
+from repro.faas.checkpoint import Checkpoint, checkpoint_bytes
+from repro.faas.limits import LambdaLimits, lambda_speed_factor, lambda_vcpus
+from repro.faas.runtime import FunctionLifetime, faas_startup_seconds
+
+__all__ = [
+    "LambdaLimits",
+    "lambda_vcpus",
+    "lambda_speed_factor",
+    "FunctionLifetime",
+    "faas_startup_seconds",
+    "Checkpoint",
+    "checkpoint_bytes",
+]

@@ -1,0 +1,55 @@
+"""AWS Lambda resource limits (as of the paper, 2020/2021).
+
+A function gets at most 3 GB of memory, vCPU share proportional to
+memory (1.8 vCPU at 3 GB — the paper's Table 2 annotations), and must
+finish within 15 minutes. These constraints drive most of LambdaML's
+design: checkpointing (lifetime), batch-size caps (memory), and the
+serialization bottleneck of the hybrid architecture (vCPU share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+MAX_MEMORY_GB = 3.0
+MAX_LIFETIME_S = 15 * 60.0
+VCPU_PER_GB = 0.6  # 3 GB -> 1.8 vCPU, 1 GB -> 0.6 vCPU
+REFERENCE_VCPUS = 1.8  # compute profiles are calibrated at 3 GB
+
+
+@dataclass(frozen=True)
+class LambdaLimits:
+    """Per-function resource envelope."""
+
+    memory_gb: float = 3.0
+    lifetime_s: float = MAX_LIFETIME_S
+    # Checkpoint when remaining lifetime falls below this margin.
+    checkpoint_margin_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.memory_gb <= MAX_MEMORY_GB:
+            raise ConfigurationError(
+                f"Lambda memory must be in (0, {MAX_MEMORY_GB}] GB, got {self.memory_gb}"
+            )
+        if not 0 < self.lifetime_s <= MAX_LIFETIME_S:
+            raise ConfigurationError(
+                f"Lambda lifetime must be in (0, {MAX_LIFETIME_S}] s, got {self.lifetime_s}"
+            )
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.memory_gb * 1024**3)
+
+
+def lambda_vcpus(memory_gb: float) -> float:
+    """vCPU share allotted to a function of the given memory size."""
+    if memory_gb <= 0:
+        raise ConfigurationError(f"memory must be positive, got {memory_gb}")
+    return memory_gb * VCPU_PER_GB
+
+
+def lambda_speed_factor(memory_gb: float) -> float:
+    """Training throughput relative to the 3 GB reference function."""
+    return lambda_vcpus(memory_gb) / REFERENCE_VCPUS

@@ -1,0 +1,18 @@
+"""Simulated IaaS (EC2-like) substrate: VMs, clusters, MPI, and the
+VM-based parameter server of the hybrid (Cirrus-style) architecture."""
+
+from repro.iaas.cluster import VMCluster, iaas_startup_seconds
+from repro.iaas.mpi import MPICommunicator
+from repro.iaas.ps import ParameterServer, PSTimingModel
+from repro.iaas.vm import INSTANCES, InstanceSpec, get_instance
+
+__all__ = [
+    "InstanceSpec",
+    "INSTANCES",
+    "get_instance",
+    "VMCluster",
+    "iaas_startup_seconds",
+    "MPICommunicator",
+    "ParameterServer",
+    "PSTimingModel",
+]

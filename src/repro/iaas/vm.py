@@ -1,0 +1,62 @@
+"""EC2 instance catalog.
+
+Network bandwidth/latency for the t2/c5 families come from Table 6
+(t2.medium↔t2.medium 120 MB/s at 0.5 ms; c5↔c5 225 MB/s at 0.15 ms for
+c5.large, line-rate 10 Gbps for the larger c5 sizes).
+
+`relative_speed` is training throughput relative to the reference
+worker (one 3 GB Lambda ≈ 1.8 vCPU ≈ one t2.medium running PyTorch on
+all cores); it multiplies into the per-instance compute profiles of
+`repro.models.zoo`. GPU speed-ups live in the model profiles, not
+here, because only the neural workloads use GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One EC2 instance type."""
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    relative_speed: float  # training throughput vs the reference worker
+    network_bps: float  # VM-to-VM bandwidth
+    network_latency_s: float
+    gpu: str | None = None  # "m60" | "t4" | None
+
+
+INSTANCES: dict[str, InstanceSpec] = {
+    spec.name: spec
+    for spec in [
+        InstanceSpec("t2.medium", 2, 4.0, 1.0, 120 * MB, 5e-4),
+        InstanceSpec("t2.xlarge", 4, 16.0, 1.9, 160 * MB, 5e-4),
+        InstanceSpec("t2.2xlarge", 8, 32.0, 3.2, 250 * MB, 5e-4),
+        InstanceSpec("c5.large", 2, 4.0, 1.3, 225 * MB, 1.5e-4),
+        InstanceSpec("c5.xlarge", 4, 8.0, 2.4, 600 * MB, 1.5e-4),
+        InstanceSpec("c5.2xlarge", 8, 16.0, 4.5, 1250 * MB, 1.5e-4),
+        InstanceSpec("c5.4xlarge", 16, 32.0, 8.0, 1250 * MB, 1.5e-4),
+        InstanceSpec("c5.9xlarge", 36, 72.0, 15.0, 1250 * MB, 1.5e-4),
+        InstanceSpec("m5a.12xlarge", 48, 192.0, 18.0, 1250 * MB, 1.5e-4),
+        InstanceSpec("g3s.xlarge", 4, 30.5, 2.2, 1250 * MB, 1.5e-4, gpu="m60"),
+        InstanceSpec("g3.4xlarge", 16, 122.0, 6.0, 1250 * MB, 1.5e-4, gpu="m60"),
+        InstanceSpec("g4dn.xlarge", 4, 16.0, 2.4, 1250 * MB, 1.5e-4, gpu="t4"),
+        InstanceSpec("g4dn.2xlarge", 8, 32.0, 4.4, 1250 * MB, 1.5e-4, gpu="t4"),
+    ]
+}
+
+
+def get_instance(name: str) -> InstanceSpec:
+    try:
+        return INSTANCES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown instance type {name!r}; known: {sorted(INSTANCES)}"
+        ) from None

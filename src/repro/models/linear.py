@@ -1,0 +1,119 @@
+"""Linear models: logistic regression and linear SVM.
+
+Both operate on labels in {-1, +1}, accept dense ndarrays or scipy CSR
+matrices, and include optional L2 regularisation. The loss is the
+*mean* over examples so thresholds are dataset-size independent (the
+paper stops training at fixed loss thresholds, Table 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.models.base import SupervisedModel
+
+
+def _margins(X, params: np.ndarray) -> np.ndarray:
+    out = X @ params
+    if sparse.issparse(out):  # pragma: no cover - scipy returns ndarray
+        out = out.toarray().ravel()
+    return np.asarray(out).ravel()
+
+
+def _xtv(X, v: np.ndarray) -> np.ndarray:
+    """X^T v as a dense 1-D array for dense or sparse X."""
+    out = X.T @ v
+    return np.asarray(out).ravel()
+
+
+class LogisticRegression(SupervisedModel):
+    """Binary logistic regression with mean log-loss."""
+
+    def __init__(self, n_features: int, l2: float = 0.0) -> None:
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        self.n_params = n_features
+        self.l2 = l2
+
+    def init_params(self, rng: np.random.Generator) -> np.ndarray:
+        # Zero init gives the canonical starting loss ln 2 ≈ 0.6931.
+        return np.zeros(self.n_params)
+
+    def loss(self, params: np.ndarray, X, y: np.ndarray) -> float:
+        z = y * _margins(X, params)
+        # log(1 + exp(-z)) computed stably for large |z|.
+        losses = np.logaddexp(0.0, -z)
+        reg = 0.5 * self.l2 * float(params @ params)
+        return float(losses.mean() + reg)
+
+    def gradient(self, params: np.ndarray, X, y: np.ndarray) -> np.ndarray:
+        z = y * _margins(X, params)
+        # d/dz log(1+exp(-z)) = -sigmoid(-z)
+        coef = -y * _sigmoid(-z) / y.shape[0]
+        return _xtv(X, coef) + self.l2 * params
+
+    def loss_and_gradient(self, params: np.ndarray, X, y: np.ndarray):
+        z = y * _margins(X, params)
+        losses = np.logaddexp(0.0, -z)
+        reg = 0.5 * self.l2 * float(params @ params)
+        coef = -y * _sigmoid(-z) / y.shape[0]
+        grad = _xtv(X, coef) + self.l2 * params
+        return float(losses.mean() + reg), grad
+
+    def predict(self, params: np.ndarray, X) -> np.ndarray:
+        return np.where(_margins(X, params) >= 0, 1, -1)
+
+    def accuracy(self, params: np.ndarray, X, y: np.ndarray) -> float:
+        return float((self.predict(params, X) == y).mean())
+
+
+class LinearSVM(SupervisedModel):
+    """Linear SVM with mean *squared* hinge loss.
+
+    The squared hinge (L2-SVM) is smooth, which suits both SGD and the
+    ADMM subproblem solver, and its loss scale matches the thresholds
+    the paper trains to (0.48 on Higgs, 0.05 on RCV1) — the plain hinge
+    cannot go below ~0.8 at Higgs's Bayes accuracy.
+    """
+
+    def __init__(self, n_features: int, l2: float = 1e-4) -> None:
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        self.n_params = n_features
+        self.l2 = l2
+
+    def init_params(self, rng: np.random.Generator) -> np.ndarray:
+        # Zero init gives squared hinge loss exactly 0.5.
+        return np.zeros(self.n_params)
+
+    def loss(self, params: np.ndarray, X, y: np.ndarray) -> float:
+        margins = y * _margins(X, params)
+        violation = np.maximum(0.0, 1.0 - margins)
+        reg = 0.5 * self.l2 * float(params @ params)
+        return float(0.5 * (violation**2).mean() + reg)
+
+    def gradient(self, params: np.ndarray, X, y: np.ndarray) -> np.ndarray:
+        margins = y * _margins(X, params)
+        violation = np.maximum(0.0, 1.0 - margins)
+        coef = -y * violation / y.shape[0]
+        return _xtv(X, coef) + self.l2 * params
+
+    def predict(self, params: np.ndarray, X) -> np.ndarray:
+        return np.where(_margins(X, params) >= 0, 1, -1)
+
+    def accuracy(self, params: np.ndarray, X, y: np.ndarray) -> float:
+        return float((self.predict(params, X) == y).mean())
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out

@@ -1,0 +1,103 @@
+"""Round-based API shared by all distributed optimization algorithms.
+
+Executors drive training as a sequence of *communication rounds*. Per
+round, each worker:
+
+1. calls :meth:`round_payload` — real numpy computation producing the
+   statistic to aggregate (gradient / local model / consensus term /
+   k-means sufficient statistics);
+2. lets the communication layer reduce payloads across workers
+   (element-wise mean or sum, per :attr:`reduce`);
+3. calls :meth:`apply` with the merged vector.
+
+:meth:`round_work` reports how many instances/iterations the round
+processed so executors can charge simulated compute time, and
+:attr:`epochs_per_round` converts rounds to data epochs (ADMM scans the
+data ten times per round; GA-SGD syncs many times per epoch).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.loader import Shard
+from repro.errors import ConfigurationError
+
+
+class DistributedAlgorithm(abc.ABC):
+    """Per-worker algorithm state machine."""
+
+    #: How payloads are combined across workers: "mean" or "sum".
+    reduce: str = "mean"
+
+    def __init__(self, shard: Shard) -> None:
+        self.shard = shard
+
+    # -- structure ----------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def epochs_per_round(self) -> float:
+        """Data epochs consumed by one communication round."""
+
+    @abc.abstractmethod
+    def round_work(self) -> tuple[float, float]:
+        """(instances, iterations) of training work in one round."""
+
+    def eval_work(self) -> tuple[float, float]:
+        """(instances, iterations) of one validation-loss evaluation."""
+        return (float(self.shard.y_val.shape[0]), 1.0)
+
+    # -- computation ----------------------------------------------------------
+    @abc.abstractmethod
+    def round_payload(self) -> np.ndarray:
+        """Run the round's local computation; return the statistic vector."""
+
+    @abc.abstractmethod
+    def apply(self, merged: np.ndarray) -> None:
+        """Install the aggregated statistic into local state."""
+
+    @abc.abstractmethod
+    def local_loss(self) -> float:
+        """Loss of the current local state (validation for supervised)."""
+
+    @property
+    @abc.abstractmethod
+    def params(self) -> np.ndarray:
+        """Current parameters as a flat vector (checkpointing / tests)."""
+
+    @params.setter
+    def params(self, value: np.ndarray) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def make_algorithm(
+    name: str,
+    model,
+    shard: Shard,
+    lr: float,
+    seed: int = 0,
+    admm_rho: float = 0.05,
+    admm_scans: int = 10,
+    ma_sync_epochs: int = 1,
+    kmeans_init=None,
+) -> DistributedAlgorithm:
+    """Factory resolving the paper's algorithm names."""
+    from repro.optim.admm import ADMM
+    from repro.optim.em import KMeansEM
+    from repro.optim.gradient_averaging import GradientAveragingSGD
+    from repro.optim.model_averaging import ModelAveragingSGD
+
+    name = name.lower().replace("-", "_")
+    if name in ("ga_sgd", "ga", "sgd"):
+        return GradientAveragingSGD(model, shard, lr=lr, seed=seed)
+    if name in ("ma_sgd", "ma"):
+        return ModelAveragingSGD(model, shard, lr=lr, seed=seed, sync_epochs=ma_sync_epochs)
+    if name == "admm":
+        return ADMM(model, shard, lr=lr, seed=seed, rho=admm_rho, scans=admm_scans)
+    if name in ("em", "kmeans"):
+        return KMeansEM(model, shard, seed=seed, init_centroids=kmeans_init)
+    raise ConfigurationError(
+        f"unknown algorithm {name!r}; expected ga_sgd|ma_sgd|admm|em"
+    )

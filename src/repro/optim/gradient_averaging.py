@@ -1,0 +1,62 @@
+"""GA-SGD: distributed SGD with gradient averaging.
+
+Workers compute minibatch gradients in lockstep and synchronise *every
+iteration*; the merged (averaged) gradient updates every local model
+identically, so all workers hold the same parameters. Communication-
+heavy but statistically identical to large-batch single-node SGD —
+exactly the behaviour the paper stresses when showing GA-SGD loses to
+MA-SGD/ADMM on FaaS for convex models but is the only stable choice
+for deep models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import Shard
+from repro.models.base import SupervisedModel
+from repro.optim.base import DistributedAlgorithm
+from repro.utils.rng import make_rng
+
+
+class GradientAveragingSGD(DistributedAlgorithm):
+    reduce = "mean"
+
+    def __init__(self, model: SupervisedModel, shard: Shard, lr: float, seed: int = 0):
+        super().__init__(shard)
+        self.model = model
+        self.lr = lr
+        self._params = model.init_params(make_rng(seed))
+        self._batches = iter(())
+
+    @property
+    def epochs_per_round(self) -> float:
+        return 1.0 / self.shard.iterations_per_epoch
+
+    def round_work(self) -> tuple[float, float]:
+        return (float(self.shard.batch_size), 1.0)
+
+    def _next_batch(self):
+        try:
+            return next(self._batches)
+        except StopIteration:
+            self._batches = self.shard.epoch_batches()
+            return next(self._batches)
+
+    def round_payload(self) -> np.ndarray:
+        X_batch, y_batch = self._next_batch()
+        return self.model.gradient(self._params, X_batch, y_batch)
+
+    def apply(self, merged: np.ndarray) -> None:
+        self._params = self._params - (self.lr * merged).astype(self._params.dtype, copy=False)
+
+    def local_loss(self) -> float:
+        return self.model.loss(self._params, self.shard.X_val, self.shard.y_val)
+
+    @property
+    def params(self) -> np.ndarray:
+        return self._params
+
+    @params.setter
+    def params(self, value: np.ndarray) -> None:
+        self._params = np.asarray(value, dtype=self._params.dtype).copy()

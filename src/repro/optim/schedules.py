@@ -1,0 +1,35 @@
+"""Learning-rate schedules.
+
+The synchronous experiments use constant learning rates tuned per
+workload; the asynchronous protocol follows the paper (and [104]) in
+decaying the rate as 1/sqrt(T) over epochs to tame staleness noise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+Schedule = Callable[[int], float]
+
+
+def constant_lr(lr: float) -> Schedule:
+    """lr(epoch) = lr."""
+    if lr <= 0:
+        raise ValueError(f"learning rate must be > 0, got {lr}")
+
+    def schedule(epoch: int) -> float:
+        return lr
+
+    return schedule
+
+
+def inv_sqrt_decay(lr: float) -> Schedule:
+    """lr(epoch) = lr / sqrt(epoch + 1), used for S-ASP."""
+    if lr <= 0:
+        raise ValueError(f"learning rate must be > 0, got {lr}")
+
+    def schedule(epoch: int) -> float:
+        return lr / math.sqrt(epoch + 1.0)
+
+    return schedule

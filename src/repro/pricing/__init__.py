@@ -1,0 +1,6 @@
+"""AWS-style pricing: a 2021 price catalog and per-run cost meters."""
+
+from repro.pricing.catalog import PriceCatalog, DEFAULT_CATALOG
+from repro.pricing.meter import CostMeter
+
+__all__ = ["PriceCatalog", "DEFAULT_CATALOG", "CostMeter"]

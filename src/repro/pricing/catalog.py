@@ -1,0 +1,90 @@
+"""2021-era AWS price points used by the cost model.
+
+Values are on-demand us-east-1 prices contemporaneous with the paper
+(the paper itself quotes cache.t3.small at $0.034/h, which anchors the
+catalog). Prices are inputs to the reproduction, not measurements; the
+catalog is immutable so every experiment bills identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+# Lambda: charged per GB-second of configured memory, plus per request.
+LAMBDA_PER_GB_SECOND = 0.0000166667
+LAMBDA_PER_REQUEST = 0.0000002
+
+# EC2 on-demand hourly prices.
+_EC2_HOURLY = {
+    "t2.medium": 0.0464,
+    "t2.xlarge": 0.1856,
+    "t2.2xlarge": 0.3712,
+    "c5.large": 0.085,
+    "c5.xlarge": 0.17,
+    "c5.2xlarge": 0.34,
+    "c5.4xlarge": 0.68,
+    "c5.9xlarge": 1.53,
+    "m5a.12xlarge": 2.064,
+    "g3s.xlarge": 0.75,
+    "g3.4xlarge": 1.14,
+    "g4dn.xlarge": 0.526,
+    "g4dn.2xlarge": 0.752,
+}
+
+# ElastiCache node hourly prices (same for Redis and Memcached engines).
+_ELASTICACHE_HOURLY = {
+    "cache.t3.small": 0.034,
+    "cache.t3.medium": 0.068,
+    "cache.m5.large": 0.156,
+}
+
+# S3 request pricing (per single request).
+S3_PER_PUT = 0.005 / 1000.0  # also applies to LIST and DELETE-class calls
+S3_PER_GET = 0.0004 / 1000.0
+
+# DynamoDB on-demand request units.
+DYNAMODB_PER_WRITE_UNIT = 1.25 / 1_000_000.0  # 1 KB per write unit
+DYNAMODB_PER_READ_UNIT = 0.25 / 1_000_000.0  # 4 KB per read unit
+DYNAMODB_WRITE_UNIT_BYTES = 1024
+DYNAMODB_READ_UNIT_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class PriceCatalog:
+    """Immutable bundle of unit prices used by :class:`CostMeter`."""
+
+    lambda_per_gb_second: float = LAMBDA_PER_GB_SECOND
+    lambda_per_request: float = LAMBDA_PER_REQUEST
+    ec2_hourly: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType(dict(_EC2_HOURLY))
+    )
+    elasticache_hourly: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType(dict(_ELASTICACHE_HOURLY))
+    )
+    s3_per_put: float = S3_PER_PUT
+    s3_per_get: float = S3_PER_GET
+    dynamodb_per_write_unit: float = DYNAMODB_PER_WRITE_UNIT
+    dynamodb_per_read_unit: float = DYNAMODB_PER_READ_UNIT
+
+    def ec2_price(self, instance: str) -> float:
+        try:
+            return self.ec2_hourly[instance]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown EC2 instance type {instance!r}; known: {sorted(self.ec2_hourly)}"
+            ) from None
+
+    def elasticache_price(self, node: str) -> float:
+        try:
+            return self.elasticache_hourly[node]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown ElastiCache node {node!r}; known: {sorted(self.elasticache_hourly)}"
+            ) from None
+
+
+DEFAULT_CATALOG = PriceCatalog()

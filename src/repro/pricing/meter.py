@@ -1,0 +1,74 @@
+"""Per-run dollar accounting.
+
+A :class:`CostMeter` accumulates charges from every simulated resource
+involved in a training job (Lambda GB-seconds, EC2 instance-seconds,
+ElastiCache node-seconds, S3/DynamoDB requests). Experiments read the
+total and the per-component breakdown to build the cost axes of
+Figures 11/12 and the cost columns of Tables 1 and 5.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.pricing.catalog import (
+    DYNAMODB_READ_UNIT_BYTES,
+    DYNAMODB_WRITE_UNIT_BYTES,
+    DEFAULT_CATALOG,
+    PriceCatalog,
+)
+
+
+class CostMeter:
+    """Accumulates dollars per component for one simulated run."""
+
+    def __init__(self, catalog: PriceCatalog = DEFAULT_CATALOG) -> None:
+        self.catalog = catalog
+        self.dollars: dict[str, float] = defaultdict(float)
+        self.counters: dict[str, int] = defaultdict(int)
+
+    # -- generic ----------------------------------------------------------
+    def add(self, component: str, dollars: float) -> None:
+        if dollars < 0:
+            raise ValueError(f"negative charge {dollars} for {component}")
+        self.dollars[component] += dollars
+
+    @property
+    def total(self) -> float:
+        return sum(self.dollars.values())
+
+    def breakdown(self) -> dict[str, float]:
+        return dict(self.dollars)
+
+    # -- compute ----------------------------------------------------------
+    def bill_lambda(self, memory_gb: float, seconds: float, invocations: int = 0) -> None:
+        self.add("lambda", memory_gb * seconds * self.catalog.lambda_per_gb_second)
+        if invocations:
+            self.add("lambda", invocations * self.catalog.lambda_per_request)
+            self.counters["lambda_invocations"] += invocations
+
+    def bill_vm(self, instance: str, seconds: float, count: int = 1) -> None:
+        hourly = self.catalog.ec2_price(instance)
+        self.add("ec2", hourly * (seconds / 3600.0) * count)
+
+    def bill_elasticache(self, node: str, seconds: float) -> None:
+        hourly = self.catalog.elasticache_price(node)
+        self.add("elasticache", hourly * (seconds / 3600.0))
+
+    # -- storage requests ---------------------------------------------------
+    def bill_s3_request(self, op: str) -> None:
+        if op in ("put", "list", "delete"):
+            self.add("s3", self.catalog.s3_per_put)
+        else:
+            self.add("s3", self.catalog.s3_per_get)
+        self.counters[f"s3_{op}"] += 1
+
+    def bill_dynamodb_request(self, op: str, nbytes: int) -> None:
+        if op in ("put", "delete"):
+            units = max(1, math.ceil(nbytes / DYNAMODB_WRITE_UNIT_BYTES))
+            self.add("dynamodb", units * self.catalog.dynamodb_per_write_unit)
+        else:
+            units = max(1, math.ceil(nbytes / DYNAMODB_READ_UNIT_BYTES))
+            self.add("dynamodb", units * self.catalog.dynamodb_per_read_unit)
+        self.counters[f"dynamodb_{op}"] += 1

@@ -1,0 +1,31 @@
+"""Simulated clock.
+
+The clock only moves forward; the engine owns the single instance for a
+run and advances it as events complete. Nothing in the library reads
+the host wall clock for results.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now - 1e-12:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now:.6f}, target={t:.6f}"
+            )
+        self._now = max(self._now, t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,148 @@
+"""Commands that simulated processes yield to the engine.
+
+A process is a generator; each `yield <command>` suspends it until the
+engine has charged the simulated duration of the command (including any
+queueing on contended services) and applied its data effect. The value
+sent back into the generator is the command's result (e.g. the object
+returned by :class:`Get`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.simulation.engine import Process
+    from repro.storage.base import ObjectStore
+
+
+@dataclass
+class Sleep:
+    """Advance this process's clock by `duration` seconds."""
+
+    duration: float
+    category: str = "idle"
+
+
+@dataclass
+class Compute:
+    """Like Sleep, but accounted as computation in the time breakdown."""
+
+    duration: float
+    category: str = "compute"
+
+
+@dataclass
+class Put:
+    """Write `value` under `key`; charged latency + size/bandwidth."""
+
+    store: "ObjectStore"
+    key: str
+    value: Any
+    category: str = "comm"
+
+
+@dataclass
+class Get:
+    """Read the object under `key`; raises KeyNotFoundError if absent."""
+
+    store: "ObjectStore"
+    key: str
+    category: str = "comm"
+
+
+@dataclass
+class Delete:
+    """Remove `key` if present (idempotent)."""
+
+    store: "ObjectStore"
+    key: str
+    category: str = "comm"
+
+
+@dataclass
+class ListKeys:
+    """List keys with the given prefix; result is a sorted list of names."""
+
+    store: "ObjectStore"
+    prefix: str = ""
+    category: str = "comm"
+
+
+@dataclass
+class WaitKey:
+    """Block until `key` exists, polling the store every `poll_interval` s.
+
+    The process wakes one poll interval after the key becomes visible
+    (matching the polling loops of the paper's synchronous protocol),
+    and is charged one list request per simulated poll.
+    """
+
+    store: "ObjectStore"
+    key: str
+    poll_interval: float = 0.05
+    category: str = "wait"
+
+
+@dataclass
+class WaitKeyCount:
+    """Block until at least `count` keys with `prefix` exist.
+
+    Implements the merging phase of the synchronous protocol: the
+    aggregator lists files named by epoch/iteration/partition and waits
+    until the number of matching files equals the number of workers.
+    """
+
+    store: "ObjectStore"
+    prefix: str
+    count: int
+    poll_interval: float = 0.05
+    category: str = "wait"
+
+
+@dataclass
+class Spawn:
+    """Start a new process running `generator` after `delay` seconds."""
+
+    generator: Any
+    name: str
+    delay: float = 0.0
+    category: str = "idle"
+
+
+@dataclass
+class Join:
+    """Block until `process` finishes; result is its return value."""
+
+    process: "Process"
+    category: str = "wait"
+
+
+@dataclass
+class Collective:
+    """Rendezvous of `group.size` processes (AllReduce / barrier on IaaS).
+
+    All participants of a round block until the last one arrives; the
+    group's time model is then charged once and every participant
+    resumes with the reduced value at the same simulated instant.
+    """
+
+    group: "CollectiveGroup"
+    value: Any = None
+    category: str = "comm"
+
+
+@dataclass
+class CollectiveGroup:
+    """Identity + timing/reduction rules for a set of collective peers."""
+
+    name: str
+    size: int
+    # reduce_fn folds the list of contributed values into one result.
+    reduce_fn: Any = None
+    # time_fn(nbytes_per_member, size) -> seconds for one collective.
+    time_fn: Any = None
+    # Internal rendezvous state, managed by the engine.
+    pending: dict = field(default_factory=dict, repr=False)
+    round_counter: dict = field(default_factory=dict, repr=False)

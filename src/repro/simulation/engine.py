@@ -1,0 +1,413 @@
+"""The discrete-event engine.
+
+Processes are Python generators yielding :mod:`repro.simulation.commands`.
+The engine keeps a single priority queue of `(time, seq, closure)`
+events; data effects (storage writes, collective reductions) are applied
+at the simulated *completion* time of their operation, so reads that
+complete earlier never observe later writes. All scheduling is
+deterministic: ties are broken by a monotonically increasing sequence
+number.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import DeadlockError, KeyNotFoundError, SimulationError
+from repro.simulation.clock import SimClock
+from repro.simulation.commands import (
+    Collective,
+    Compute,
+    Delete,
+    Get,
+    Join,
+    ListKeys,
+    Put,
+    Sleep,
+    Spawn,
+    WaitKey,
+    WaitKeyCount,
+)
+from repro.simulation.tracing import TimeBreakdown
+from repro.utils.serialization import payload_nbytes
+
+Command = Any
+ProcessGenerator = Generator[Command, Any, Any]
+
+
+class ProcessState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+    KILLED = "killed"
+
+
+class Process:
+    """A simulated thread of execution with its own time breakdown."""
+
+    def __init__(self, generator: ProcessGenerator, name: str, daemon: bool = False):
+        self.generator = generator
+        self.name = name
+        self.daemon = daemon
+        self.state = ProcessState.READY
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        self.trace = TimeBreakdown()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.joiners: list[Callable[[], None]] = []
+        # Token invalidating stale wake-up events after a kill.
+        self._wake_token = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (ProcessState.READY, ProcessState.RUNNING, ProcessState.BLOCKED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name!r}, {self.state.value})"
+
+
+class Engine:
+    """Deterministic discrete-event scheduler."""
+
+    def __init__(self, on_error: str = "raise") -> None:
+        if on_error not in ("raise", "record"):
+            raise SimulationError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+        self.clock = SimClock()
+        self.on_error = on_error
+        self.processes: list[Process] = []
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        # store id() -> list of (key, callback) single-key waiters.
+        self._key_waiters: dict[int, list[tuple[str, Callable[[float], None]]]] = {}
+        # store id() -> list of (prefix, count, callback) count waiters.
+        self._count_waiters: dict[int, list[tuple[str, int, Callable[[float], None]]]] = {}
+        self._blocked_on_store = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def spawn(
+        self,
+        generator: ProcessGenerator,
+        name: str,
+        delay: float = 0.0,
+        daemon: bool = False,
+    ) -> Process:
+        """Register a new process; its first step runs `delay` s from now."""
+        proc = Process(generator, name, daemon=daemon)
+        self.processes.append(proc)
+        start_at = self.now + delay
+        self._schedule(start_at, lambda: self._first_step(proc))
+        return proc
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the queue drains (or `until` is reached).
+
+        Raises :class:`DeadlockError` if non-daemon processes remain
+        blocked with no event that could ever wake them.
+        """
+        while self._heap:
+            t, _, fn = heapq.heappop(self._heap)
+            if until is not None and t > until:
+                # Put it back for a later resumed run() call.
+                self._schedule(t, fn)
+                self.clock.advance_to(until)
+                return
+            self.clock.advance_to(t)
+            fn()
+        stuck = [p for p in self.processes if p.state == ProcessState.BLOCKED and not p.daemon]
+        if stuck:
+            names = ", ".join(p.name for p in stuck[:8])
+            raise DeadlockError(
+                f"{len(stuck)} process(es) blocked with no pending events: {names}"
+            )
+        for proc in self.processes:
+            if proc.daemon and proc.alive:
+                self.kill(proc)
+
+    def kill(self, proc: Process) -> None:
+        """Terminate a process immediately (fault injection, daemons)."""
+        if not proc.alive:
+            return
+        proc._wake_token += 1
+        proc.state = ProcessState.KILLED
+        proc.finished_at = self.now
+        proc.generator.close()
+        self._wake_joiners(proc)
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+    def _schedule(self, at: float, fn: Callable[[], None]) -> None:
+        if at < self.now - 1e-12:
+            raise SimulationError(f"cannot schedule event in the past: {at} < {self.now}")
+        heapq.heappush(self._heap, (max(at, self.now), next(self._seq), fn))
+
+    def _first_step(self, proc: Process) -> None:
+        if proc.state is not ProcessState.READY:
+            return
+        proc.started_at = self.now
+        self._step(proc, send_value=None)
+
+    def _step(self, proc: Process, send_value: Any = None, throw: BaseException | None = None):
+        """Advance the generator one command and dispatch it."""
+        if not proc.alive:
+            return
+        proc.state = ProcessState.RUNNING
+        try:
+            if throw is not None:
+                command = proc.generator.throw(throw)
+            else:
+                command = proc.generator.send(send_value)
+        except StopIteration as stop:
+            proc.state = ProcessState.DONE
+            proc.result = stop.value
+            proc.finished_at = self.now
+            self._wake_joiners(proc)
+            return
+        except BaseException as exc:  # noqa: BLE001 - recorded or re-raised below
+            proc.state = ProcessState.FAILED
+            proc.exception = exc
+            proc.finished_at = self.now
+            self._wake_joiners(proc)
+            if self.on_error == "raise":
+                raise
+            return
+        proc.state = ProcessState.BLOCKED
+        proc._wake_token += 1
+        self._dispatch(proc, command)
+
+    def _resume_later(
+        self, proc: Process, at: float, value: Any = None, throw: BaseException | None = None
+    ) -> None:
+        token = proc._wake_token
+
+        def fire() -> None:
+            if proc._wake_token != token or proc.state is not ProcessState.BLOCKED:
+                return
+            self._step(proc, send_value=value, throw=throw)
+
+        self._schedule(at, fire)
+
+    def _wake_joiners(self, proc: Process) -> None:
+        joiners, proc.joiners = proc.joiners, []
+        for wake in joiners:
+            wake()
+
+    # ------------------------------------------------------------------
+    # Command dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, proc: Process, command: Command) -> None:
+        if isinstance(command, (Sleep, Compute)):
+            if command.duration < 0 or not math.isfinite(command.duration):
+                raise SimulationError(
+                    f"{proc.name}: invalid duration {command.duration!r}"
+                )
+            proc.trace.add(command.category, command.duration)
+            self._resume_later(proc, self.now + command.duration)
+        elif isinstance(command, Put):
+            self._dispatch_put(proc, command)
+        elif isinstance(command, Get):
+            self._dispatch_get(proc, command)
+        elif isinstance(command, Delete):
+            self._dispatch_delete(proc, command)
+        elif isinstance(command, ListKeys):
+            self._dispatch_list(proc, command)
+        elif isinstance(command, WaitKey):
+            self._dispatch_wait_key(proc, command)
+        elif isinstance(command, WaitKeyCount):
+            self._dispatch_wait_count(proc, command)
+        elif isinstance(command, Spawn):
+            child = self.spawn(command.generator, command.name, delay=command.delay)
+            self._resume_later(proc, self.now, value=child)
+        elif isinstance(command, Join):
+            self._dispatch_join(proc, command)
+        elif isinstance(command, Collective):
+            self._dispatch_collective(proc, command)
+        else:
+            raise SimulationError(f"{proc.name}: unknown command {command!r}")
+
+    # -- storage ---------------------------------------------------------
+    def _charge_op(self, proc: Process, category: str, issued: float, start: float, end: float):
+        if start > issued:
+            proc.trace.add("wait", start - issued)
+        proc.trace.add(category, end - start)
+
+    def _dispatch_put(self, proc: Process, cmd: Put) -> None:
+        nbytes = payload_nbytes(cmd.value)
+        issued = self.now
+        start, end = cmd.store.schedule_op("put", nbytes, issued)
+        self._charge_op(proc, cmd.category, issued, start, end)
+
+        def apply() -> None:
+            cmd.store._do_put(cmd.key, cmd.value)
+            self._notify_put(cmd.store, cmd.key)
+            self._resume_later(proc, self.now, value=nbytes)
+
+        self._schedule(end, apply)
+
+    def _dispatch_get(self, proc: Process, cmd: Get) -> None:
+        issued = self.now
+        # Size is only known at completion; we first charge the latency,
+        # then the transfer of the actual object found at completion.
+        def apply_lookup() -> None:
+            try:
+                value = cmd.store._do_get(cmd.key)
+            except KeyNotFoundError as exc:
+                self._resume_later(proc, self.now, throw=exc)
+                return
+            nbytes = payload_nbytes(value)
+            start, end = cmd.store.schedule_op("get", nbytes, issued)
+            self._charge_op(proc, cmd.category, issued, start, end)
+            self._resume_later(proc, max(end, self.now), value=value)
+
+        self._schedule(issued, apply_lookup)
+
+    def _dispatch_delete(self, proc: Process, cmd: Delete) -> None:
+        issued = self.now
+        start, end = cmd.store.schedule_op("delete", 0, issued)
+        self._charge_op(proc, cmd.category, issued, start, end)
+
+        def apply() -> None:
+            cmd.store._do_delete(cmd.key)
+            self._resume_later(proc, self.now)
+
+        self._schedule(end, apply)
+
+    def _dispatch_list(self, proc: Process, cmd: ListKeys) -> None:
+        issued = self.now
+        start, end = cmd.store.schedule_op("list", 0, issued)
+        self._charge_op(proc, cmd.category, issued, start, end)
+
+        def apply() -> None:
+            keys = cmd.store._do_list(cmd.prefix)
+            self._resume_later(proc, self.now, value=keys)
+
+        self._schedule(end, apply)
+
+    # -- waiting on storage state ----------------------------------------
+    def _dispatch_wait_key(self, proc: Process, cmd: WaitKey) -> None:
+        issued = self.now
+
+        def wake(visible_at: float) -> None:
+            wake_at = max(visible_at, issued) + cmd.poll_interval
+            waited = wake_at - issued
+            polls = max(1, math.ceil(waited / cmd.poll_interval))
+            cmd.store.record_polls(polls)
+            proc.trace.add(cmd.category, waited)
+            self._resume_later(proc, wake_at)
+
+        if cmd.store._exists(cmd.key):
+            wake(issued)
+        else:
+            self._register_key_waiter(cmd.store, cmd.key, wake)
+
+    def _dispatch_wait_count(self, proc: Process, cmd: WaitKeyCount) -> None:
+        issued = self.now
+
+        def wake(visible_at: float) -> None:
+            wake_at = max(visible_at, issued) + cmd.poll_interval
+            waited = wake_at - issued
+            polls = max(1, math.ceil(waited / cmd.poll_interval))
+            cmd.store.record_polls(polls)
+            proc.trace.add(cmd.category, waited)
+            self._resume_later(proc, wake_at)
+
+        if cmd.store._count_prefix(cmd.prefix) >= cmd.count:
+            wake(issued)
+        else:
+            self._register_count_waiter(cmd.store, cmd.prefix, cmd.count, wake)
+
+    def _register_key_waiter(self, store: Any, key: str, wake: Callable[[float], None]) -> None:
+        self._key_waiters.setdefault(id(store), []).append((key, wake))
+        self._blocked_on_store += 1
+
+    def _register_count_waiter(
+        self, store: Any, prefix: str, count: int, wake: Callable[[float], None]
+    ) -> None:
+        self._count_waiters.setdefault(id(store), []).append((prefix, count, wake))
+        self._blocked_on_store += 1
+
+    def _notify_put(self, store: Any, key: str) -> None:
+        key_waiters = self._key_waiters.get(id(store), [])
+        still_waiting = []
+        for wanted, wake in key_waiters:
+            if wanted == key or store._exists(wanted):
+                self._blocked_on_store -= 1
+                wake(self.now)
+            else:
+                still_waiting.append((wanted, wake))
+        if key_waiters:
+            self._key_waiters[id(store)] = still_waiting
+
+        count_waiters = self._count_waiters.get(id(store), [])
+        still_counting = []
+        for prefix, count, wake in count_waiters:
+            if key.startswith(prefix) and store._count_prefix(prefix) >= count:
+                self._blocked_on_store -= 1
+                wake(self.now)
+            else:
+                still_counting.append((prefix, count, wake))
+        if count_waiters:
+            self._count_waiters[id(store)] = still_counting
+
+    # -- join / collectives ------------------------------------------------
+    def _dispatch_join(self, proc: Process, cmd: Join) -> None:
+        target = cmd.process
+        issued = self.now
+
+        def wake() -> None:
+            proc.trace.add(cmd.category, self.now - issued)
+            if target.state is ProcessState.FAILED and target.exception is not None:
+                self._resume_later(proc, self.now, throw=target.exception)
+            else:
+                self._resume_later(proc, self.now, value=target.result)
+
+        if target.alive:
+            target.joiners.append(wake)
+        else:
+            wake()
+
+    def _dispatch_collective(self, proc: Process, cmd: Collective) -> None:
+        group = cmd.group
+        round_id = group.round_counter.get(proc.name, 0)
+        group.round_counter[proc.name] = round_id + 1
+        pending = group.pending.setdefault(round_id, [])
+        pending.append((proc, cmd.value, self.now, cmd.category))
+        if len(pending) < group.size:
+            return
+        # Last member arrived: reduce and wake everyone.
+        del group.pending[round_id]
+        arrivals = sorted(pending, key=lambda item: item[0].name)
+        values = [value for _, value, _, _ in arrivals]
+        nbytes = max((payload_nbytes(v) for v in values), default=0)
+        result = group.reduce_fn(values) if group.reduce_fn is not None else None
+        duration = group.time_fn(nbytes, group.size) if group.time_fn is not None else 0.0
+        t_last = max(arrived for _, _, arrived, _ in pending)
+        completion = t_last + duration
+        for member, _, arrived, category in pending:
+            member.trace.add("wait", t_last - arrived)
+            member.trace.add(category, duration)
+            self._resume_later(member, completion, value=result)
+
+
+def run_processes(
+    generators: Iterable[tuple[str, ProcessGenerator]],
+    on_error: str = "raise",
+) -> tuple[Engine, list[Process]]:
+    """Convenience: spawn all `(name, generator)` pairs and run to completion."""
+    engine = Engine(on_error=on_error)
+    procs = [engine.spawn(gen, name) for name, gen in generators]
+    engine.run()
+    return engine, procs

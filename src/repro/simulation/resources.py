@@ -1,0 +1,46 @@
+"""Contention modelling for shared services.
+
+A :class:`ServiceQueue` represents a service that can perform at most
+`slots` operations concurrently (e.g. Redis's single worker thread vs
+Memcached's thread pool). Operations arriving while all slots are busy
+queue up deterministically; the returned completion time includes the
+queueing delay.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class ServiceQueue:
+    """Deterministic k-server queue over simulated time."""
+
+    def __init__(self, slots: int) -> None:
+        if slots < 1:
+            raise ConfigurationError(f"service needs >= 1 slot, got {slots}")
+        self.slots = slots
+        # Next-free simulated time of each slot.
+        self._free_at = [0.0] * slots
+
+    def schedule(self, arrival: float, duration: float) -> tuple[float, float]:
+        """Book `duration` seconds of service starting at/after `arrival`.
+
+        Returns `(start, completion)` where `start >= arrival` is when a
+        slot became available. Picks the earliest-free slot, breaking
+        ties by index, so results are independent of caller order only
+        insofar as arrival times differ — identical arrivals are served
+        in call order, which the engine keeps deterministic.
+        """
+        idx = min(range(self.slots), key=lambda i: self._free_at[i])
+        start = max(arrival, self._free_at[idx])
+        completion = start + duration
+        self._free_at[idx] = completion
+        return start, completion
+
+    @property
+    def busy_until(self) -> float:
+        """Latest completion currently booked (for tests/diagnostics)."""
+        return max(self._free_at)
+
+    def reset(self) -> None:
+        self._free_at = [0.0] * self.slots

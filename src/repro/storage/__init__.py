@@ -1,0 +1,30 @@
+"""Simulated storage services used as FaaS communication channels.
+
+Section 3.2.2 of the paper compares four external channels — S3,
+ElastiCache for Memcached, ElastiCache for Redis, DynamoDB — plus a
+VM-based parameter server (built in :mod:`repro.iaas.ps`). Each store
+here shares the same object API but differs in latency, bandwidth,
+concurrency, startup delay, item-size limits and billing, which is
+exactly the tradeoff Table 1 measures.
+"""
+
+from repro.storage.base import ObjectStore, StorageProfile
+from repro.storage.services import (
+    DynamoDBStore,
+    MemcachedStore,
+    RedisStore,
+    S3Store,
+    VMDiskStore,
+    make_channel,
+)
+
+__all__ = [
+    "ObjectStore",
+    "StorageProfile",
+    "S3Store",
+    "MemcachedStore",
+    "RedisStore",
+    "DynamoDBStore",
+    "VMDiskStore",
+    "make_channel",
+]

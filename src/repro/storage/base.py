@@ -1,0 +1,156 @@
+"""Base object store: shared data plane + per-service timing/billing.
+
+The data plane is a plain dict (the engine applies mutations at the
+simulated completion time of each operation, so visibility is
+chronologically consistent). The timing plane is a
+:class:`StorageProfile` — latency, bandwidth, concurrency, startup
+delay and item limit — which is where the services differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError, ItemTooLargeError, KeyNotFoundError
+from repro.pricing.meter import CostMeter
+from repro.simulation.resources import ServiceQueue
+
+
+@dataclass(frozen=True)
+class StorageProfile:
+    """Performance/limit envelope of a storage service.
+
+    bandwidth is bytes/second per connection; concurrency is how many
+    operations the service can move in parallel before queueing (this
+    is how Redis's single worker thread differs from Memcached's pool).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bps: float
+    concurrency: int
+    startup_s: float = 0.0
+    max_item_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.bandwidth_bps <= 0:
+            raise ConfigurationError(f"invalid profile for {self.name}")
+        if self.concurrency < 1:
+            raise ConfigurationError(f"{self.name}: concurrency must be >= 1")
+
+
+class ObjectStore:
+    """A simulated key/value object service.
+
+    Subclasses override :meth:`_bill` for service-specific pricing and
+    may override :meth:`op_duration`. Data methods prefixed with `_do_`
+    are invoked by the engine at operation-completion time and must not
+    be called directly from worker code.
+    """
+
+    def __init__(
+        self,
+        profile: StorageProfile,
+        meter: CostMeter | None = None,
+        available_from: float | None = None,
+    ) -> None:
+        self.profile = profile
+        self.meter = meter
+        # The service accepts requests only once started; ElastiCache
+        # nodes take minutes to come up while S3 is an always-on service.
+        self.available_at = profile.startup_s if available_from is None else available_from
+        self.queue = ServiceQueue(profile.concurrency)
+        self._objects: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Timing plane (called by the engine)
+    # ------------------------------------------------------------------
+    def op_duration(self, op: str, nbytes: int) -> float:
+        if op in ("put", "get"):
+            return self.profile.latency_s + nbytes / self.profile.bandwidth_bps
+        # list/delete move only metadata.
+        return self.profile.latency_s
+
+    def stored_item_bytes(self, nbytes: int) -> int:
+        """Bytes the service actually stores for an `nbytes` payload.
+
+        Subclasses add serialization framing overhead here; the limit
+        check below applies to this inflated size (this is what makes a
+        47236-float RCV1 model exceed DynamoDB's 400 KB item limit even
+        though the raw buffer is 378 KB).
+        """
+        return nbytes
+
+    def schedule_op(self, op: str, nbytes: int, arrival: float) -> tuple[float, float]:
+        """Book the operation; returns (service_start, completion)."""
+        if (
+            op == "put"
+            and self.profile.max_item_bytes is not None
+            and self.stored_item_bytes(nbytes) > self.profile.max_item_bytes
+        ):
+            raise ItemTooLargeError(
+                f"{self.profile.name}: item of {self.stored_item_bytes(nbytes)} B "
+                f"(payload {nbytes} B) exceeds limit {self.profile.max_item_bytes} B"
+            )
+        arrival = max(arrival, self.available_at)
+        duration = self.op_duration(op, nbytes)
+        start, end = self.queue.schedule(arrival, duration)
+        self._bill(op, nbytes)
+        return start, end
+
+    def record_polls(self, count: int) -> None:
+        """Bill `count` metadata polls issued by a waiting worker."""
+        for _ in range(count):
+            self._bill("list", 0)
+
+    def _bill(self, op: str, nbytes: int) -> None:
+        """Default: free (subclasses bill requests or node-hours)."""
+
+    # ------------------------------------------------------------------
+    # Data plane (called by the engine at completion time)
+    # ------------------------------------------------------------------
+    def _do_put(self, key: str, value: Any) -> None:
+        self._objects[key] = value
+
+    def _do_get(self, key: str) -> Any:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise KeyNotFoundError(f"{self.profile.name}: no such key {key!r}") from None
+
+    def _do_delete(self, key: str) -> None:
+        self._objects.pop(key, None)
+
+    def _do_list(self, prefix: str) -> list[str]:
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def _exists(self, key: str) -> bool:
+        return key in self._objects
+
+    def _count_prefix(self, prefix: str) -> int:
+        return sum(1 for k in self._objects if k.startswith(prefix))
+
+    # Test/diagnostic conveniences (no simulated time involved).
+    def peek(self, key: str) -> Any:
+        return self._do_get(key)
+
+    def seed_object(self, key: str, value: Any) -> None:
+        """Place an object without simulated time (e.g. pre-uploaded data)."""
+        self._objects[key] = value
+
+    def discard(self, key: str) -> None:
+        """Zero-time housekeeping removal of a consumed object.
+
+        Used by the communication patterns after a round's temporary
+        files have been fully merged, so long simulations do not
+        accumulate memory. Not billed and not timed — by construction
+        the discarded keys can never be read again.
+        """
+        self._objects.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.profile.name!r}, {len(self)} objects)"

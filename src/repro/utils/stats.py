@@ -1,0 +1,53 @@
+"""Small statistics helpers used by the simulator and experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class RunningMean:
+    """Numerically stable running mean/variance (Welford)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return self.variance**0.5
+
+
+@dataclass
+class Timer:
+    """Context manager measuring real wall-clock time (for benchmarks only).
+
+    Simulated experiments never consult the host clock; this exists for
+    pytest-benchmark harness plumbing and progress reporting.
+    """
+
+    elapsed: float = field(default=0.0)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start

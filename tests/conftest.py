@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+# Pin BLAS to one thread *before* numpy loads: multithreaded reductions
+# reorder float sums under load, which can flip knife-edge convergence
+# assertions between runs. Single-threaded numpy is bit-deterministic
+# (and faster on this suite's small matrices).
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import numpy as np
+import pytest
+
+from repro.pricing.meter import CostMeter
+from repro.simulation.engine import Engine
+from repro.storage.services import S3Store
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def s3() -> S3Store:
+    return S3Store(meter=CostMeter())
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

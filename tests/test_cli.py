@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_train_parses_defaults(self):
+        args = build_parser().parse_args(
+            ["train", "--model", "lr", "--dataset", "higgs"]
+        )
+        assert args.command == "train"
+        assert args.algorithm == "ma_sgd"
+        assert args.workers == 10
+
+    def test_train_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "bert", "--dataset", "higgs"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "lr/higgs" in out
+        assert "mobilenet/cifar10" in out
+
+    def test_train_runs_and_reports(self, capsys):
+        code = main(
+            [
+                "train", "--model", "lr", "--dataset", "higgs",
+                "--algorithm", "admm", "--workers", "4",
+                "--loss-threshold", "0.66", "--max-epochs", "40",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged" in out
+        assert "cost breakdown" in out
+
+    def test_train_exit_code_on_non_convergence(self, capsys):
+        code = main(
+            [
+                "train", "--model", "lr", "--dataset", "higgs",
+                "--algorithm", "ma_sgd", "--workers", "4",
+                "--loss-threshold", "0.01", "--max-epochs", "2",
+            ]
+        )
+        assert code == 1
+
+    def test_estimate_command(self, capsys):
+        code = main(
+            [
+                "estimate", "--model", "lr", "--dataset", "higgs",
+                "--algorithm", "ma_sgd", "--lr", "0.05", "--threshold", "0.67",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "epochs" in out

@@ -1,0 +1,209 @@
+"""Integration tests: end-to-end training through the driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.driver import train
+from repro.errors import ConfigurationError, OutOfMemoryError
+
+
+def _config(**overrides) -> TrainingConfig:
+    base = dict(
+        model="lr",
+        dataset="higgs",
+        algorithm="ma_sgd",
+        system="lambdaml",
+        workers=4,
+        channel="s3",
+        batch_size=10_000,
+        lr=0.05,
+        loss_threshold=0.68,
+        max_epochs=10,
+        seed=13,
+    )
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestConfigValidation:
+    def test_admm_rejected_for_nonconvex(self):
+        with pytest.raises(ConfigurationError):
+            _config(model="mobilenet", dataset="cifar10", algorithm="admm")
+
+    def test_em_only_for_kmeans(self):
+        with pytest.raises(ConfigurationError):
+            _config(algorithm="em")
+        with pytest.raises(ConfigurationError):
+            _config(model="kmeans", algorithm="ga_sgd")
+
+    def test_asp_is_faas_only(self):
+        with pytest.raises(ConfigurationError):
+            _config(system="pytorch", protocol="asp")
+
+    def test_unknown_system(self):
+        with pytest.raises(ConfigurationError):
+            _config(system="spark")
+
+    def test_platform_derived(self):
+        assert _config().platform == "faas"
+        assert _config(system="pytorch").platform == "iaas"
+        assert _config(system="hybridps", algorithm="ga_sgd").platform == "hybrid"
+
+
+class TestFaaSTraining:
+    def test_lambdaml_converges_lr_higgs(self):
+        result = train(_config())
+        assert result.converged
+        assert result.final_loss <= 0.68
+        assert result.duration_s > 0
+        assert result.cost_total > 0
+
+    def test_breakdown_phases_present(self):
+        result = train(_config(max_epochs=3, loss_threshold=None))
+        for phase in ("startup", "load", "compute"):
+            assert result.breakdown.get(phase) > 0, phase
+        assert result.breakdown.communication > 0
+
+    def test_deterministic_given_seed(self):
+        a = train(_config())
+        b = train(_config())
+        assert a.duration_s == b.duration_s
+        assert a.final_loss == b.final_loss
+        assert a.cost_total == b.cost_total
+
+    def test_seed_changes_trajectory(self):
+        a = train(_config(seed=13))
+        b = train(_config(seed=14))
+        assert a.final_loss != b.final_loss
+
+    def test_loss_history_recorded(self):
+        result = train(_config(max_epochs=4, loss_threshold=None))
+        assert len(result.history) >= 4 * 4  # per worker per epoch
+        times = [p.time_s for p in result.history]
+        assert times == sorted(times)
+
+    def test_scatterreduce_pattern_trains(self):
+        result = train(_config(pattern="scatterreduce"))
+        assert result.converged
+
+    def test_memcached_channel_adds_startup_wait(self):
+        s3 = train(_config(max_epochs=2, loss_threshold=None))
+        mc = train(_config(max_epochs=2, loss_threshold=None, channel="memcached"))
+        # The job is gated on the ~140s ElastiCache startup.
+        assert mc.duration_s > s3.duration_s
+        assert mc.duration_s > 140.0
+
+    def test_elasticache_billed(self):
+        result = train(_config(channel="memcached", max_epochs=2, loss_threshold=None))
+        assert result.cost_breakdown.get("elasticache", 0) > 0
+
+    def test_kmeans_via_em(self):
+        result = train(
+            _config(model="kmeans", algorithm="em", loss_threshold=0.25, max_epochs=15)
+        )
+        assert result.converged
+
+    def test_oom_for_oversized_partition(self):
+        # Criteo at W=4 puts a 7.5 GB partition in a 3 GB function.
+        with pytest.raises(OutOfMemoryError):
+            train(_config(dataset="criteo", workers=4, batch_size=100_000))
+
+    def test_admm_rounds_counted(self):
+        result = train(_config(algorithm="admm", max_epochs=20))
+        assert result.comm_rounds <= 3  # ten epochs per round + loss rounds
+
+
+class TestIaaSTraining:
+    def test_pytorch_converges(self):
+        result = train(_config(system="pytorch"))
+        assert result.converged
+
+    def test_iaas_startup_dominates_short_jobs(self):
+        faas = train(_config())
+        iaas = train(_config(system="pytorch"))
+        assert iaas.startup_s > 100
+        assert faas.startup_s < 5
+        assert iaas.duration_s > faas.duration_s
+
+    def test_iaas_cheaper_or_similar_cost(self):
+        faas = train(_config())
+        iaas = train(_config(system="pytorch"))
+        # The key qualitative claim: FaaS is faster but not cheaper.
+        assert faas.cost_total > 0.3 * iaas.cost_total
+
+    def test_angel_slower_than_pytorch(self):
+        pytorch = train(_config(system="pytorch", max_epochs=3, loss_threshold=None))
+        angel = train(_config(system="angel", max_epochs=3, loss_threshold=None))
+        assert angel.duration_s > pytorch.duration_s
+        assert angel.breakdown.get("startup") > pytorch.breakdown.get("startup")
+
+    def test_gpu_instance_accelerates_nn(self):
+        cpu = train(
+            _config(
+                model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
+                system="pytorch", workers=4, batch_size=128,
+                batch_scope="per_worker", loss_threshold=None, max_epochs=1,
+            )
+        )
+        gpu = train(
+            _config(
+                model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
+                system="pytorch", workers=4, batch_size=128,
+                batch_scope="per_worker", loss_threshold=None, max_epochs=1,
+                instance="g3s.xlarge",
+            )
+        )
+        assert gpu.breakdown.get("compute") < cpu.breakdown.get("compute") / 5
+
+    def test_vm_billing_by_duration(self):
+        result = train(_config(system="pytorch", max_epochs=2, loss_threshold=None))
+        expected = 4 * 0.0464 * result.duration_s / 3600.0
+        assert result.cost_breakdown["ec2"] == pytest.approx(expected)
+
+
+class TestHybridTraining:
+    def test_hybrid_trains_lr(self):
+        result = train(
+            _config(system="hybridps", algorithm="ga_sgd", max_epochs=4, lr=0.3)
+        )
+        assert result.final_loss < 0.693
+
+    def test_hybrid_requires_gradient_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            train(_config(system="hybridps", algorithm="ma_sgd"))
+
+    def test_hybrid_bills_ps_vm(self):
+        result = train(
+            _config(system="hybridps", algorithm="ga_sgd", max_epochs=2, loss_threshold=None)
+        )
+        assert result.cost_breakdown.get("ec2", 0) > 0
+        assert result.cost_breakdown.get("lambda", 0) > 0
+
+    def test_hybrid_gated_by_ps_startup(self):
+        result = train(
+            _config(system="hybridps", algorithm="ga_sgd", max_epochs=2, loss_threshold=None)
+        )
+        assert result.duration_s > 120.0  # PS VM boot
+
+
+class TestAsyncTraining:
+    def test_asp_runs_and_records(self):
+        result = train(
+            _config(protocol="asp", algorithm="ga_sgd", max_epochs=5, lr=0.3,
+                    straggler_jitter=0.3)
+        )
+        assert result.epochs >= 1
+        assert len(result.history) > 4
+
+    def test_asp_faster_per_epoch_than_bsp(self):
+        bsp = train(
+            _config(algorithm="ga_sgd", max_epochs=2, loss_threshold=None, lr=0.3)
+        )
+        asp = train(
+            _config(protocol="asp", algorithm="ga_sgd", max_epochs=2,
+                    loss_threshold=None, lr=0.3)
+        )
+        assert asp.duration_s < bsp.duration_s

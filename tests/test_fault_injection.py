@@ -1,0 +1,147 @@
+"""Fault injection: the Figure-5 lifetime/checkpoint machinery under stress."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.driver import train
+from repro.faas.checkpoint import Checkpoint
+from repro.simulation.commands import Get, Put, Sleep
+from repro.simulation.engine import Engine, ProcessState
+from repro.storage.services import S3Store
+from repro.utils.serialization import SizedPayload
+
+
+class TestLifetimeCheckpointing:
+    def _short_lifetime_config(self, lifetime_s: float = 120.0) -> TrainingConfig:
+        return TrainingConfig(
+            model="lr",
+            dataset="higgs",
+            algorithm="ma_sgd",
+            system="lambdaml",
+            workers=4,
+            channel="s3",
+            batch_size=10_000,
+            lr=0.05,
+            lambda_lifetime_s=lifetime_s,
+            loss_threshold=None,
+            max_epochs=12,
+            seed=3,
+        )
+
+    def test_short_lifetime_triggers_checkpoints(self):
+        result = train(self._short_lifetime_config())
+        assert result.checkpoints > 0
+        assert result.breakdown.get("checkpoint") > 0
+
+    def test_checkpointing_does_not_change_statistics(self):
+        """Lifetime resets cost time but never perturb the math."""
+        short = train(self._short_lifetime_config(lifetime_s=120.0))
+        long = train(
+            TrainingConfig(
+                model="lr", dataset="higgs", algorithm="ma_sgd",
+                system="lambdaml", workers=4, channel="s3",
+                batch_size=10_000, lr=0.05, loss_threshold=None,
+                max_epochs=12, seed=3,
+            )
+        )
+        assert short.final_loss == pytest.approx(long.final_loss)
+        assert short.epochs == long.epochs
+        assert short.duration_s > long.duration_s  # overhead is real
+
+    def test_extra_invocations_billed(self):
+        result = train(self._short_lifetime_config())
+        # 1 initial + checkpoints re-invocations, all billed.
+        assert result.checkpoints > 0
+        assert result.cost_breakdown["lambda"] > 0
+
+
+class TestCrashRecovery:
+    """A killed worker's successor resumes from its S3 checkpoint."""
+
+    def test_kill_and_resume_from_checkpoint(self):
+        engine = Engine(on_error="record")
+        store = S3Store()
+        progress = []
+
+        def worker(start_step: int):
+            params = None
+            if start_step > 0:
+                obj = yield Get(store, "ckpt/worker_00000")
+                params = obj.value.params
+            state = np.zeros(4) if params is None else params
+            step = start_step
+            while step < 10:
+                state = state + 1.0
+                yield Sleep(1.0, "compute")
+                ckpt = Checkpoint(0, float(step), step, state.copy(), 0.0)
+                yield Put(store, ckpt.key(), SizedPayload(ckpt, 64))
+                progress.append(step)
+                step += 1
+            return state
+
+        first = engine.spawn(worker(0), "incarnation-1")
+        engine.run(until=4.5)  # crash mid-flight
+        engine.kill(first)
+        assert first.state is ProcessState.KILLED
+
+        # The self-trigger starts a successor from the last checkpoint.
+        last_done = max(progress)
+        second = engine.spawn(worker(last_done + 1), "incarnation-2")
+        engine.run()
+        assert second.state is ProcessState.DONE
+        # Work was conserved: final counter equals total steps.
+        np.testing.assert_allclose(second.result, np.full(4, 10.0))
+
+    def test_checkpoint_object_roundtrips_through_storage(self):
+        engine = Engine()
+        store = S3Store()
+        original = Checkpoint(2, 3.5, 7, np.arange(5.0), 0.42)
+
+        def proc():
+            yield Put(store, original.key(), SizedPayload(original, 128))
+            restored = yield Get(store, original.key())
+            return restored.value
+
+        p = engine.spawn(proc(), "p")
+        engine.run()
+        assert p.result.rank == 2
+        assert p.result.epoch_float == 3.5
+        assert p.result.round_index == 7
+        np.testing.assert_allclose(p.result.params, np.arange(5.0))
+
+
+class TestStragglerInjection:
+    def test_stragglers_slow_bsp_rounds(self):
+        def run_with(jitter: float):
+            return train(
+                TrainingConfig(
+                    model="lr", dataset="higgs", algorithm="ma_sgd",
+                    system="lambdaml", workers=6, channel="s3",
+                    batch_size=10_000, lr=0.05, loss_threshold=None,
+                    max_epochs=5, straggler_jitter=jitter, seed=3,
+                )
+            )
+
+        uniform = run_with(0.0)
+        skewed = run_with(0.5)
+        assert skewed.duration_s > uniform.duration_s
+        # Statistics are unaffected: same merged math either way.
+        assert skewed.final_loss == pytest.approx(uniform.final_loss)
+
+    def test_stragglers_increase_wait_not_compute_of_fastest(self):
+        result = train(
+            TrainingConfig(
+                model="lr", dataset="higgs", algorithm="ma_sgd",
+                system="lambdaml", workers=6, channel="s3",
+                batch_size=10_000, lr=0.05, loss_threshold=None,
+                max_epochs=5, straggler_jitter=0.5, seed=3,
+            )
+        )
+        fastest = result.per_worker[0]
+        slowest = result.per_worker[-1]
+        assert slowest.get("compute") > fastest.get("compute")
+        # The fast worker pays for the slow one in waiting time.
+        assert fastest.get("wait") + fastest.get("merge") > 0

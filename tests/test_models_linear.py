@@ -1,0 +1,159 @@
+"""Unit + property tests for the linear models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.models.linear import LinearSVM, LogisticRegression
+
+
+def _toy_data(rng, n=200, d=6, separable=False):
+    X = rng.standard_normal((n, d))
+    w = rng.standard_normal(d)
+    margin = X @ w
+    if separable:
+        y = np.where(margin >= 0, 1, -1)
+    else:
+        p = 1 / (1 + np.exp(-margin))
+        y = np.where(rng.random(n) < p, 1, -1)
+    return X, y.astype(np.int8)
+
+
+class TestLogisticRegression:
+    def test_zero_init_loss_is_ln2(self, rng):
+        X, y = _toy_data(rng)
+        model = LogisticRegression(X.shape[1])
+        w = model.init_params(rng)
+        assert model.loss(w, X, y) == pytest.approx(np.log(2))
+
+    def test_gradient_matches_finite_differences(self, rng):
+        X, y = _toy_data(rng, n=50)
+        model = LogisticRegression(X.shape[1], l2=0.01)
+        w = rng.standard_normal(X.shape[1]) * 0.1
+        grad = model.gradient(w, X, y)
+        eps = 1e-6
+        for j in range(X.shape[1]):
+            delta = np.zeros_like(w)
+            delta[j] = eps
+            numeric = (model.loss(w + delta, X, y) - model.loss(w - delta, X, y)) / (2 * eps)
+            assert grad[j] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+    def test_gd_decreases_loss(self, rng):
+        X, y = _toy_data(rng)
+        model = LogisticRegression(X.shape[1])
+        w = model.init_params(rng)
+        losses = [model.loss(w, X, y)]
+        for _ in range(50):
+            w = w - 0.5 * model.gradient(w, X, y)
+            losses.append(model.loss(w, X, y))
+        assert losses[-1] < losses[0] - 0.05
+
+    def test_sparse_dense_agreement(self, rng):
+        X, y = _toy_data(rng)
+        model = LogisticRegression(X.shape[1])
+        w = rng.standard_normal(X.shape[1])
+        Xs = sparse.csr_matrix(X)
+        assert model.loss(w, Xs, y) == pytest.approx(model.loss(w, X, y))
+        np.testing.assert_allclose(model.gradient(w, Xs, y), model.gradient(w, X, y))
+
+    def test_loss_and_gradient_consistent(self, rng):
+        X, y = _toy_data(rng)
+        model = LogisticRegression(X.shape[1], l2=1e-3)
+        w = rng.standard_normal(X.shape[1])
+        loss, grad = model.loss_and_gradient(w, X, y)
+        assert loss == pytest.approx(model.loss(w, X, y))
+        np.testing.assert_allclose(grad, model.gradient(w, X, y))
+
+    def test_extreme_margins_are_stable(self):
+        X = np.array([[1000.0], [-1000.0]])
+        y = np.array([1, -1], dtype=np.int8)
+        model = LogisticRegression(1)
+        w = np.array([50.0])
+        assert np.isfinite(model.loss(w, X, y))
+        assert np.isfinite(model.gradient(w, X, y)).all()
+
+    def test_accuracy_on_separable_data(self, rng):
+        X, y = _toy_data(rng, separable=True)
+        model = LogisticRegression(X.shape[1])
+        w = model.init_params(rng)
+        for _ in range(200):
+            w = w - 0.5 * model.gradient(w, X, y)
+        assert model.accuracy(w, X, y) > 0.95
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(0)
+        with pytest.raises(ValueError):
+            LogisticRegression(5, l2=-1.0)
+
+
+class TestLinearSVM:
+    def test_zero_init_loss_is_half(self, rng):
+        X, y = _toy_data(rng)
+        model = LinearSVM(X.shape[1], l2=0.0)
+        w = model.init_params(rng)
+        assert model.loss(w, X, y) == pytest.approx(0.5)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        X, y = _toy_data(rng, n=40)
+        model = LinearSVM(X.shape[1], l2=0.01)
+        w = rng.standard_normal(X.shape[1]) * 0.1
+        grad = model.gradient(w, X, y)
+        eps = 1e-6
+        for j in range(X.shape[1]):
+            delta = np.zeros_like(w)
+            delta[j] = eps
+            numeric = (model.loss(w + delta, X, y) - model.loss(w - delta, X, y)) / (2 * eps)
+            assert grad[j] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_separable_data_reaches_low_hinge(self, rng):
+        X, y = _toy_data(rng, separable=True)
+        model = LinearSVM(X.shape[1], l2=1e-5)
+        w = model.init_params(rng)
+        for _ in range(400):
+            w = w - 0.5 * model.gradient(w, X, y)
+        assert model.loss(w, X, y) < 0.1
+
+    def test_sparse_dense_agreement(self, rng):
+        X, y = _toy_data(rng)
+        model = LinearSVM(X.shape[1])
+        w = rng.standard_normal(X.shape[1])
+        Xs = sparse.csr_matrix(X)
+        assert model.loss(w, Xs, y) == pytest.approx(model.loss(w, X, y))
+        np.testing.assert_allclose(model.gradient(w, Xs, y), model.gradient(w, X, y))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    d=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_losses_are_finite_and_nonnegative(n, d, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, d))
+    y = np.where(rng.random(n) < 0.5, 1, -1).astype(np.int8)
+    w = rng.standard_normal(d)
+    for model in (LogisticRegression(d, l2=1e-4), LinearSVM(d, l2=1e-4)):
+        loss = model.loss(w, X, y)
+        assert np.isfinite(loss)
+        assert loss >= 0.0
+        grad = model.gradient(w, X, y)
+        assert grad.shape == (d,)
+        assert np.isfinite(grad).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_l2_penalises_larger_weights(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((32, 4))
+    y = np.where(rng.random(32) < 0.5, 1, -1).astype(np.int8)
+    w = rng.standard_normal(4)
+    light = LogisticRegression(4, l2=0.0).loss(w, X, y)
+    heavy = LogisticRegression(4, l2=1.0).loss(w, X, y)
+    assert heavy >= light

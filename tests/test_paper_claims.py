@@ -1,0 +1,168 @@
+"""Acceptance tests for the paper's headline claims (scaled down).
+
+Each test pins one sentence of the paper to an executable check. These
+are the reproduction's contract: if one fails, a paper-level conclusion
+no longer emerges from the system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.driver import train
+
+
+def _cfg(**overrides) -> TrainingConfig:
+    base = dict(
+        model="lr",
+        dataset="higgs",
+        algorithm="admm",
+        system="lambdaml",
+        workers=8,
+        channel="memcached",
+        batch_size=100_000,
+        lr=0.05,
+        loss_threshold=0.66,
+        max_epochs=40,
+        seed=20210620,
+    )
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestSection42Algorithms:
+    """'The widely adopted SGD algorithm is not one-size-fits-all.'"""
+
+    def test_ga_sgd_needs_orders_of_magnitude_more_rounds(self):
+        ga = train(_cfg(algorithm="ga_sgd", lr=0.3, max_epochs=3))
+        admm = train(_cfg())
+        assert ga.comm_rounds > 20 * admm.comm_rounds
+
+    def test_admm_converges_within_few_rounds(self):
+        result = train(_cfg())
+        assert result.converged
+        assert result.comm_rounds <= 6
+
+    def test_ga_sgd_anti_scales_on_faas(self):
+        """Fig 7a: GA-SGD gets slower with many workers (speedup < 1)."""
+        small = train(_cfg(algorithm="ga_sgd", lr=0.3, workers=8, max_epochs=1,
+                           loss_threshold=None))
+        large = train(_cfg(algorithm="ga_sgd", lr=0.3, workers=64, max_epochs=1,
+                           loss_threshold=None))
+        assert large.duration_s > small.duration_s
+
+    def test_admm_scales_on_faas(self):
+        """Fig 7a: ADMM's speedup at large worker counts is positive.
+
+        Per the paper's §4 protocol the channel is pre-started, so the
+        measurement isolates compute/communication scaling.
+        """
+        small = train(_cfg(workers=8, max_epochs=10, loss_threshold=None,
+                           channel_prestarted=True))
+        large = train(_cfg(workers=64, max_epochs=10, loss_threshold=None,
+                           channel_prestarted=True))
+        assert large.duration_s < small.duration_s
+
+    def test_ma_sgd_unstable_on_neural_model(self):
+        """'The convergence of MA-SGD is unstable' (non-convex)."""
+        ga = train(
+            _cfg(model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
+                 workers=10, batch_size=128, batch_scope="per_worker",
+                 partition_mode="label-skew", loss_threshold=None, max_epochs=3)
+        )
+        ma = train(
+            _cfg(model="mobilenet", dataset="cifar10", algorithm="ma_sgd",
+                 workers=10, batch_size=128, batch_scope="per_worker",
+                 partition_mode="label-skew", loss_threshold=None, max_epochs=3)
+        )
+        assert ma.final_loss > ga.final_loss
+
+
+class TestSection43Channels:
+    """Channel tradeoffs of Table 1."""
+
+    def test_memcached_start_up_dominates_short_jobs(self):
+        s3 = train(_cfg(channel="s3"))
+        memcached = train(_cfg(channel="memcached"))
+        assert memcached.duration_s > s3.duration_s  # slowdown > 1
+        assert memcached.cost_total > s3.cost_total  # relative cost > 1
+
+    def test_dynamodb_close_to_s3_for_tiny_models(self):
+        s3 = train(_cfg(channel="s3"))
+        ddb = train(_cfg(channel="dynamodb"))
+        assert ddb.duration_s == pytest.approx(s3.duration_s, rel=0.3)
+
+    def test_dynamodb_cannot_hold_mobilenet(self):
+        from repro.errors import ItemTooLargeError
+
+        with pytest.raises(ItemTooLargeError):
+            train(
+                _cfg(model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
+                     channel="dynamodb", workers=10, batch_size=128,
+                     batch_scope="per_worker", loss_threshold=None, max_epochs=1)
+            )
+
+
+class TestSection52EndToEnd:
+    """'FaaS can be faster, but it is never significantly cheaper.'"""
+
+    def test_lambdaml_faster_than_pytorch_on_communication_efficient(self):
+        faas = train(_cfg())
+        iaas = train(_cfg(system="pytorch"))
+        assert faas.converged and iaas.converged
+        assert faas.duration_s < iaas.duration_s
+
+    def test_faas_not_significantly_cheaper(self):
+        faas = train(_cfg())
+        iaas = train(_cfg(system="pytorch"))
+        # "Never significantly cheaper": FaaS stays within the same
+        # cost magnitude (the paper shows it is usually *more* costly).
+        assert faas.cost_total > 0.5 * iaas.cost_total
+
+    def test_pytorch_wins_without_startup(self):
+        """Fig 10: excluding start-up, IaaS is at least as fast."""
+        faas = train(_cfg(loss_threshold=None, max_epochs=10, channel="s3",
+                          algorithm="ma_sgd"))
+        iaas = train(_cfg(system="pytorch", loss_threshold=None, max_epochs=10,
+                          algorithm="ma_sgd"))
+        assert iaas.duration_without_startup_s <= faas.duration_without_startup_s * 1.1
+
+    def test_gpu_dominates_deep_models(self):
+        """Fig 12: an IaaS GPU config beats FaaS on time AND cost for MN."""
+        faas = train(
+            _cfg(model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
+                 workers=10, batch_size=128, batch_scope="per_worker",
+                 loss_threshold=0.2, max_epochs=8)
+        )
+        gpu = train(
+            _cfg(model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
+                 system="pytorch", instance="g4dn.xlarge", workers=10,
+                 batch_size=128, batch_scope="per_worker",
+                 loss_threshold=0.2, max_epochs=8)
+        )
+        assert gpu.duration_s < faas.duration_s
+        assert gpu.cost_total < faas.cost_total
+
+
+class TestSection45Synchronization:
+    """Fig 8: synchronous steady, asynchronous fast-but-unstable."""
+
+    def test_bsp_converges_where_asp_struggles(self):
+        bsp = train(_cfg(algorithm="ga_sgd", lr=0.3, channel="s3",
+                         batch_size=1_000_000, max_epochs=16,
+                         straggler_jitter=0.3))
+        asp = train(_cfg(algorithm="ga_sgd", lr=0.3, channel="s3",
+                         batch_size=1_000_000, protocol="asp", max_epochs=16,
+                         straggler_jitter=0.3))
+        assert bsp.converged
+        # ASP either fails to converge or lands at a worse loss.
+        assert (not asp.converged) or asp.final_loss >= bsp.final_loss - 1e-6
+
+    def test_asp_cheaper_per_round(self):
+        bsp = train(_cfg(algorithm="ga_sgd", lr=0.3, channel="s3",
+                         batch_size=1_000_000, max_epochs=2, loss_threshold=None))
+        asp = train(_cfg(algorithm="ga_sgd", lr=0.3, channel="s3",
+                         batch_size=1_000_000, protocol="asp", max_epochs=2,
+                         loss_threshold=None))
+        assert asp.duration_s < bsp.duration_s

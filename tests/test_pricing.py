@@ -1,0 +1,69 @@
+"""Unit tests for the price catalog and cost meter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pricing.catalog import DEFAULT_CATALOG, PriceCatalog
+from repro.pricing.meter import CostMeter
+
+
+class TestCatalog:
+    def test_paper_anchor_price(self):
+        # The paper quotes cache.t3.small at $0.034/hour.
+        assert DEFAULT_CATALOG.elasticache_price("cache.t3.small") == 0.034
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_CATALOG.ec2_price("quantum.9000xl")
+
+    def test_unknown_cache_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_CATALOG.elasticache_price("cache.z1.nano")
+
+    def test_gpu_more_expensive_than_cpu(self):
+        assert DEFAULT_CATALOG.ec2_price("g3s.xlarge") > DEFAULT_CATALOG.ec2_price(
+            "t2.medium"
+        )
+
+
+class TestMeter:
+    def test_lambda_billing_scales_with_memory_and_time(self):
+        a, b = CostMeter(), CostMeter()
+        a.bill_lambda(3.0, 100.0)
+        b.bill_lambda(1.0, 100.0)
+        assert a.total == pytest.approx(3 * b.total)
+
+    def test_lambda_invocation_charge(self):
+        m = CostMeter()
+        m.bill_lambda(0.0, 0.0, invocations=1_000_000)
+        assert m.total == pytest.approx(0.2)
+
+    def test_vm_billing_by_the_hour(self):
+        m = CostMeter()
+        m.bill_vm("t2.medium", 3600.0, count=2)
+        assert m.total == pytest.approx(2 * 0.0464)
+
+    def test_elasticache_billing(self):
+        m = CostMeter()
+        m.bill_elasticache("cache.t3.small", 1800.0)
+        assert m.total == pytest.approx(0.017)
+
+    def test_negative_charge_rejected(self):
+        m = CostMeter()
+        with pytest.raises(ValueError):
+            m.add("x", -1.0)
+
+    def test_breakdown_by_component(self):
+        m = CostMeter()
+        m.bill_lambda(3.0, 10.0)
+        m.bill_vm("t2.medium", 10.0)
+        breakdown = m.breakdown()
+        assert set(breakdown) == {"lambda", "ec2"}
+        assert m.total == pytest.approx(sum(breakdown.values()))
+
+    def test_dynamodb_write_unit_rounding(self):
+        m = CostMeter()
+        m.bill_dynamodb_request("put", 1)  # still one full write unit
+        assert m.total == pytest.approx(1.25e-6)

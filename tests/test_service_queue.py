@@ -1,0 +1,87 @@
+"""Property tests for the deterministic k-server queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.simulation.resources import ServiceQueue
+
+
+class TestBasics:
+    def test_single_slot_serialises(self):
+        q = ServiceQueue(1)
+        first = q.schedule(0.0, 2.0)
+        second = q.schedule(0.0, 2.0)
+        assert first == (0.0, 2.0)
+        assert second == (2.0, 4.0)
+
+    def test_parallel_slots(self):
+        q = ServiceQueue(2)
+        a = q.schedule(0.0, 2.0)
+        b = q.schedule(0.0, 2.0)
+        c = q.schedule(0.0, 2.0)
+        assert a[1] == b[1] == 2.0
+        assert c == (2.0, 4.0)
+
+    def test_idle_queue_starts_at_arrival(self):
+        q = ServiceQueue(3)
+        assert q.schedule(10.0, 1.0) == (10.0, 11.0)
+
+    def test_reset(self):
+        q = ServiceQueue(1)
+        q.schedule(0.0, 5.0)
+        q.reset()
+        assert q.schedule(0.0, 1.0) == (0.0, 1.0)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceQueue(0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    slots=st.integers(min_value=1, max_value=8),
+    ops=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100),  # arrival
+            st.floats(min_value=0.01, max_value=10),  # duration
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_property_queue_invariants(slots, ops):
+    q = ServiceQueue(slots)
+    intervals = []
+    for arrival, duration in ops:
+        start, end = q.schedule(arrival, duration)
+        # Service never starts before arrival and lasts exactly duration.
+        assert start >= arrival
+        assert end == pytest.approx(start + duration)
+        intervals.append((start, end))
+    # At no instant are more than `slots` operations in service:
+    # check at each start time how many intervals overlap it.
+    for probe_start, _ in intervals:
+        overlapping = sum(
+            1 for s, e in intervals if s <= probe_start < e
+        )
+        assert overlapping <= slots
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    duration=st.floats(min_value=0.1, max_value=5.0),
+    n_ops=st.integers(min_value=1, max_value=20),
+    slots=st.integers(min_value=1, max_value=8),
+)
+def test_property_makespan_formula_for_simultaneous_arrivals(duration, n_ops, slots):
+    """n equal ops arriving together finish in ceil(n/slots) waves."""
+    import math
+
+    q = ServiceQueue(slots)
+    ends = [q.schedule(0.0, duration)[1] for _ in range(n_ops)]
+    waves = math.ceil(n_ops / slots)
+    assert max(ends) == pytest.approx(waves * duration)

@@ -1,0 +1,318 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, KeyNotFoundError, SimulationError
+from repro.simulation.commands import (
+    Collective,
+    CollectiveGroup,
+    Compute,
+    Delete,
+    Get,
+    Join,
+    ListKeys,
+    Put,
+    Sleep,
+    Spawn,
+    WaitKey,
+    WaitKeyCount,
+)
+from repro.simulation.engine import Engine, ProcessState
+from repro.storage.services import S3Store
+
+
+def test_sleep_advances_clock(engine):
+    def proc():
+        yield Sleep(5.0)
+        return engine.now
+
+    p = engine.spawn(proc(), "sleeper")
+    engine.run()
+    assert p.result == pytest.approx(5.0)
+    assert engine.now == pytest.approx(5.0)
+
+
+def test_compute_charges_compute_category(engine):
+    def proc():
+        yield Compute(2.5)
+
+    p = engine.spawn(proc(), "worker")
+    engine.run()
+    assert p.trace.get("compute") == pytest.approx(2.5)
+
+
+def test_processes_interleave_deterministically(engine):
+    order = []
+
+    def proc(name, delay):
+        yield Sleep(delay)
+        order.append(name)
+
+    engine.spawn(proc("b", 2.0), "b")
+    engine.spawn(proc("a", 1.0), "a")
+    engine.run()
+    assert order == ["a", "b"]
+
+
+def test_put_then_get_roundtrip(engine, s3):
+    def proc():
+        yield Put(s3, "key", {"x": 1})
+        value = yield Get(s3, "key")
+        return value
+
+    p = engine.spawn(proc(), "worker")
+    engine.run()
+    assert p.result == {"x": 1}
+
+
+def test_get_missing_key_raises_into_process(engine, s3):
+    def proc():
+        try:
+            yield Get(s3, "absent")
+        except KeyNotFoundError:
+            return "caught"
+        return "not caught"
+
+    p = engine.spawn(proc(), "worker")
+    engine.run()
+    assert p.result == "caught"
+
+
+def test_get_sees_only_completed_puts(engine):
+    """A get completing before a put's completion must miss the object."""
+    store = S3Store()
+    outcome = {}
+
+    def slow_writer():
+        # 64 MB at 65 MB/s: completes around t ~ 1s.
+        import numpy as np
+
+        from repro.utils.serialization import SizedPayload
+
+        yield Put(store, "big", SizedPayload(np.zeros(4), 64 * 1024 * 1024))
+
+    def early_reader():
+        try:
+            yield Get(store, "big")
+            outcome["saw"] = True
+        except KeyNotFoundError:
+            outcome["saw"] = False
+
+    engine.spawn(slow_writer(), "writer")
+    engine.spawn(early_reader(), "reader")
+    engine.run()
+    assert outcome["saw"] is False
+
+
+def test_wait_key_wakes_after_put(engine, s3):
+    times = {}
+
+    def writer():
+        yield Sleep(3.0)
+        yield Put(s3, "flag", 1)
+
+    def waiter():
+        yield WaitKey(s3, "flag", poll_interval=0.1)
+        times["woke"] = engine.now
+
+    engine.spawn(writer(), "writer")
+    engine.spawn(waiter(), "waiter")
+    engine.run()
+    # Wakes at put-visibility plus one poll interval.
+    assert times["woke"] >= 3.0
+    assert times["woke"] <= 3.0 + s3.profile.latency_s + 0.2 + 1e-9
+
+
+def test_wait_key_count(engine, s3):
+    def writer(i):
+        yield Sleep(float(i))
+        yield Put(s3, f"parts/{i}", i)
+
+    def waiter():
+        yield WaitKeyCount(s3, "parts/", 3, poll_interval=0.05)
+        return engine.now
+
+    for i in range(3):
+        engine.spawn(writer(i), f"w{i}")
+    p = engine.spawn(waiter(), "waiter")
+    engine.run()
+    assert p.result >= 2.0  # last part written at t>=2
+
+
+def test_deadlock_detection(engine, s3):
+    def waiter():
+        yield WaitKey(s3, "never", poll_interval=0.1)
+
+    engine.spawn(waiter(), "stuck")
+    with pytest.raises(DeadlockError):
+        engine.run()
+
+
+def test_daemon_processes_do_not_deadlock(engine, s3):
+    def waiter():
+        yield WaitKey(s3, "never", poll_interval=0.1)
+
+    engine.spawn(waiter(), "daemon", daemon=True)
+    engine.run()  # no DeadlockError
+
+
+def test_spawn_and_join(engine):
+    def child():
+        yield Sleep(2.0)
+        return 42
+
+    def parent():
+        proc = yield Spawn(child(), "child")
+        result = yield Join(proc)
+        return result
+
+    p = engine.spawn(parent(), "parent")
+    engine.run()
+    assert p.result == 42
+    assert engine.now == pytest.approx(2.0)
+
+
+def test_join_propagates_exception(engine):
+    def child():
+        yield Sleep(1.0)
+        raise ValueError("boom")
+
+    def parent():
+        proc = yield Spawn(child(), "child")
+        try:
+            yield Join(proc)
+        except ValueError as exc:
+            return str(exc)
+
+    local = Engine(on_error="record")
+    p = local.spawn(parent(), "parent")
+    local.run()
+    assert p.result == "boom"
+
+
+def test_failed_process_recorded_when_on_error_record():
+    engine = Engine(on_error="record")
+
+    def bad():
+        yield Sleep(1.0)
+        raise RuntimeError("nope")
+
+    p = engine.spawn(bad(), "bad")
+    engine.run()
+    assert p.state is ProcessState.FAILED
+    assert isinstance(p.exception, RuntimeError)
+
+
+def test_failed_process_raises_by_default(engine):
+    def bad():
+        yield Sleep(1.0)
+        raise RuntimeError("nope")
+
+    engine.spawn(bad(), "bad")
+    with pytest.raises(RuntimeError):
+        engine.run()
+
+
+def test_kill_terminates_process(engine):
+    def loops():
+        while True:
+            yield Sleep(1.0)
+
+    p = engine.spawn(loops(), "loops")
+    engine.run(until=5.0)
+    engine.kill(p)
+    engine.run()
+    assert p.state is ProcessState.KILLED
+
+
+def test_collective_rendezvous(engine):
+    group = CollectiveGroup(
+        name="g",
+        size=3,
+        reduce_fn=lambda values: sum(values),
+        time_fn=lambda nbytes, size: 1.0,
+    )
+    results = {}
+
+    def member(i):
+        yield Sleep(float(i))
+        merged = yield Collective(group, value=i)
+        results[i] = (merged, engine.now)
+
+    for i in range(3):
+        engine.spawn(member(i), f"m{i}")
+    engine.run()
+    # Everyone gets the same reduction at the same completion time.
+    assert all(v[0] == 3 for v in results.values())
+    times = [v[1] for v in results.values()]
+    assert all(t == pytest.approx(3.0) for t in times)  # last arrival (2.0) + 1.0
+
+
+def test_collective_multiple_rounds(engine):
+    group = CollectiveGroup(
+        name="g", size=2, reduce_fn=sum, time_fn=lambda n, s: 0.5
+    )
+    log = []
+
+    def member(i):
+        for round_index in range(3):
+            merged = yield Collective(group, value=round_index)
+            log.append((i, round_index, merged))
+
+    engine.spawn(member(0), "m0")
+    engine.spawn(member(1), "m1")
+    engine.run()
+    assert len(log) == 6
+    for _, round_index, merged in log:
+        assert merged == 2 * round_index
+
+
+def test_negative_sleep_rejected(engine):
+    def proc():
+        yield Sleep(-1.0)
+
+    engine.spawn(proc(), "bad")
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_list_keys(engine, s3):
+    def proc():
+        yield Put(s3, "a/1", 1)
+        yield Put(s3, "a/2", 2)
+        yield Put(s3, "b/1", 3)
+        keys = yield ListKeys(s3, "a/")
+        return keys
+
+    p = engine.spawn(proc(), "worker")
+    engine.run()
+    assert p.result == ["a/1", "a/2"]
+
+
+def test_delete_removes_key(engine, s3):
+    def proc():
+        yield Put(s3, "k", 1)
+        yield Delete(s3, "k")
+        try:
+            yield Get(s3, "k")
+        except KeyNotFoundError:
+            return "gone"
+
+    p = engine.spawn(proc(), "worker")
+    engine.run()
+    assert p.result == "gone"
+
+
+def test_run_until_pauses_and_resumes(engine):
+    def proc():
+        yield Sleep(10.0)
+        return "done"
+
+    p = engine.spawn(proc(), "worker")
+    engine.run(until=5.0)
+    assert engine.now == pytest.approx(5.0)
+    assert p.state is ProcessState.BLOCKED
+    engine.run()
+    assert p.result == "done"

@@ -1,0 +1,172 @@
+"""Unit tests for the simulated storage services."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ItemTooLargeError
+from repro.pricing.meter import CostMeter
+from repro.simulation.commands import Get, Put
+from repro.simulation.engine import Engine
+from repro.storage.base import ObjectStore, StorageProfile
+from repro.storage.services import (
+    DynamoDBStore,
+    MemcachedStore,
+    RedisStore,
+    S3Store,
+    VMDiskStore,
+    make_channel,
+)
+from repro.utils.serialization import SizedPayload
+
+MB = 1024 * 1024
+
+
+class TestProfiles:
+    def test_s3_is_always_on(self):
+        assert S3Store().available_at == 0.0
+
+    def test_elasticache_has_startup_delay(self):
+        assert MemcachedStore().available_at > 100.0
+        assert RedisStore().available_at > 100.0
+
+    def test_redis_is_single_threaded(self):
+        assert RedisStore().profile.concurrency == 1
+        assert MemcachedStore().profile.concurrency > 1
+
+    def test_unknown_cache_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemcachedStore(node="cache.z9.mega")
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StorageProfile(name="bad", latency_s=-1, bandwidth_bps=1, concurrency=1)
+        with pytest.raises(ConfigurationError):
+            StorageProfile(name="bad", latency_s=0, bandwidth_bps=1, concurrency=0)
+
+
+class TestTiming:
+    def test_put_duration_is_latency_plus_transfer(self):
+        store = S3Store()
+        start, end = store.schedule_op("put", 65 * MB, arrival=0.0)
+        assert start == 0.0
+        # 65 MB at 65 MB/s = 1 s, plus 80 ms latency.
+        assert end == pytest.approx(1.08, rel=1e-3)
+
+    def test_ops_queue_when_concurrency_exhausted(self):
+        store = RedisStore()
+        store.available_at = 0.0
+        first = store.schedule_op("put", 63 * MB, arrival=0.0)
+        second = store.schedule_op("put", 63 * MB, arrival=0.0)
+        assert second[0] >= first[1]  # serialized behind the first
+
+    def test_memcached_parallelism_beats_redis(self):
+        mc = MemcachedStore()
+        mc.available_at = 0.0
+        rd = RedisStore()
+        rd.available_at = 0.0
+        mc_end = max(mc.schedule_op("put", 63 * MB, 0.0)[1] for _ in range(8))
+        rd_end = max(rd.schedule_op("put", 63 * MB, 0.0)[1] for _ in range(8))
+        assert mc_end < rd_end
+
+    def test_ops_wait_for_startup(self):
+        store = MemcachedStore()
+        start, end = store.schedule_op("get", 1024, arrival=0.0)
+        assert start >= store.available_at
+
+
+class TestDynamoDB:
+    def test_small_item_accepted(self):
+        store = DynamoDBStore()
+        store.schedule_op("put", 100 * 1024, arrival=0.0)
+
+    def test_large_item_rejected(self):
+        store = DynamoDBStore()
+        with pytest.raises(ItemTooLargeError):
+            store.schedule_op("put", 500 * 1024, arrival=0.0)
+
+    def test_rcv1_model_rejected_via_serialization_overhead(self):
+        # 47236 float64 = 377,888 raw bytes; framing pushes it past 400 KB.
+        store = DynamoDBStore()
+        with pytest.raises(ItemTooLargeError):
+            store.schedule_op("put", 47_236 * 8, arrival=0.0)
+
+    def test_higgs_model_fits(self):
+        store = DynamoDBStore()
+        store.schedule_op("put", 28 * 8, arrival=0.0)
+
+
+class TestBilling:
+    def test_s3_bills_requests(self):
+        meter = CostMeter()
+        store = S3Store(meter=meter)
+        store.schedule_op("put", 1024, 0.0)
+        store.schedule_op("get", 1024, 0.0)
+        assert meter.counters["s3_put"] == 1
+        assert meter.counters["s3_get"] == 1
+        assert meter.total > 0
+
+    def test_dynamodb_bills_by_request_units(self):
+        meter = CostMeter()
+        store = DynamoDBStore(meter=meter)
+        store.schedule_op("put", 10 * 1024, 0.0)  # 10 write units
+        ten_kb = meter.total
+        meter2 = CostMeter()
+        store2 = DynamoDBStore(meter=meter2)
+        store2.schedule_op("put", 1024, 0.0)  # 1 write unit
+        assert ten_kb > meter2.total
+
+    def test_poll_billing(self):
+        meter = CostMeter()
+        store = S3Store(meter=meter)
+        store.record_polls(5)
+        assert meter.counters["s3_list"] == 5
+
+
+class TestChannelFactory:
+    @pytest.mark.parametrize("kind", ["s3", "memcached", "redis", "dynamodb"])
+    def test_make_channel(self, kind):
+        channel = make_channel(kind)
+        assert channel.kind == kind
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_channel("floppy-disk")
+
+    def test_elasticache_channels_carry_node(self):
+        channel = make_channel("memcached", node="cache.m5.large")
+        assert channel.node == "cache.m5.large"
+        assert channel.startup_s > 0
+
+
+class TestDataPlane:
+    def test_roundtrip_through_engine(self):
+        engine = Engine()
+        store = VMDiskStore()
+        payload = SizedPayload(np.arange(4), 32)
+
+        def proc():
+            yield Put(store, "x", payload)
+            value = yield Get(store, "x")
+            return value
+
+        p = engine.spawn(proc(), "p")
+        engine.run()
+        assert np.array_equal(p.result.value, np.arange(4))
+
+    def test_discard_is_silent_and_unbilled(self):
+        meter = CostMeter()
+        store = S3Store(meter=meter)
+        store.seed_object("x", 1)
+        store.discard("x")
+        store.discard("x")  # idempotent
+        assert len(store) == 0
+        assert meter.total == 0
+
+    def test_count_prefix(self):
+        store = S3Store()
+        store.seed_object("a/1", 1)
+        store.seed_object("a/2", 2)
+        store.seed_object("b/1", 3)
+        assert store._count_prefix("a/") == 2

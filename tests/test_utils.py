@@ -1,0 +1,108 @@
+"""Unit tests for utility helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.utils.rng import make_rng, spawn
+from repro.utils.serialization import SizedPayload, payload_nbytes, unwrap
+from repro.utils.stats import RunningMean, Timer
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        a = make_rng(5).standard_normal(4)
+        b = make_rng(5).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_spawn_children_independent(self):
+        children = spawn(make_rng(1), 3)
+        draws = [c.standard_normal(8) for c in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_deterministic(self):
+        a = [c.standard_normal(2) for c in spawn(make_rng(9), 2)]
+        b = [c.standard_normal(2) for c in spawn(make_rng(9), 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestPayloadSizing:
+    def test_ndarray_size(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+        assert payload_nbytes(np.zeros(10, dtype=np.float32)) == 40
+
+    def test_sparse_size(self):
+        X = sparse.random(10, 100, density=0.1, format="csr")
+        nbytes = payload_nbytes(X)
+        assert nbytes >= X.data.nbytes
+
+    def test_sized_payload_overrides(self):
+        payload = SizedPayload(np.zeros(2), 12 * 1024 * 1024)
+        assert payload_nbytes(payload) == 12 * 1024 * 1024
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SizedPayload(None, -1)
+
+    def test_container_sizes_sum(self):
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 16 + 24
+        assert payload_nbytes({"a": np.zeros(1)}) == payload_nbytes("a") + 8
+
+    def test_scalar_and_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("héllo") == len("héllo".encode())
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(None) == 8
+
+    def test_unknown_object_never_free(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) > 0
+
+    def test_unwrap(self):
+        arr = np.zeros(2)
+        assert unwrap(SizedPayload(arr, 10)) is arr
+        assert unwrap(arr) is arr
+
+
+class TestRunningMean:
+    def test_matches_numpy(self):
+        values = [1.0, 2.0, 4.0, 8.0]
+        rm = RunningMean()
+        for v in values:
+            rm.update(v)
+        assert rm.mean == pytest.approx(np.mean(values))
+        assert rm.variance == pytest.approx(np.var(values, ddof=1))
+
+    def test_single_value(self):
+        rm = RunningMean()
+        rm.update(3.0)
+        assert rm.mean == 3.0
+        assert rm.variance == 0.0
+        assert rm.std == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+def test_property_running_mean_matches_numpy(values):
+    rm = RunningMean()
+    for v in values:
+        rm.update(v)
+    assert rm.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+
+
+def test_timer_measures_something():
+    with Timer() as t:
+        sum(range(1000))
+    assert t.elapsed >= 0.0
