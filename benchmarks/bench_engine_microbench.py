@@ -1,0 +1,91 @@
+"""Engine hot-path microbenchmark: w-worker ScatterReduce rounds.
+
+Measures the *wall-clock* cost of simulating communication rounds at
+scale — the regime the Fig. 11 sweeps and Table 3 patterns need (100+
+workers). The seed engine rescanned every stored key per waiter per
+put (O(w^3) string scans per round); the indexed data plane brings a
+round back to near-linear work.
+
+Run standalone to (re)generate ``BENCH_engine.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_engine_microbench.py
+
+The JSON records the seed baseline (measured on the pre-refactor
+engine at commit ea1bc81 on this container) next to the current
+engine's numbers so the speedup is auditable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.comm.patterns import scatter_reduce
+from repro.simulation.engine import Engine
+from repro.storage.services import S3Store
+
+# Wall-clock seconds for one scatter_reduce round, measured on the seed
+# engine (commit ea1bc81) on this container, single-threaded BLAS.
+SEED_BASELINE_S = {50: 0.334, 100: 4.065}
+
+VECTOR_ELEMS = 256  # physical surrogate; logical size set separately
+LOGICAL_NBYTES = 400_000  # ~LR/RCV1-sized model
+
+
+def run_round(workers: int, rounds: int = 1) -> float:
+    """Simulate `rounds` ScatterReduce rounds; return wall seconds."""
+    engine = Engine()
+    store = S3Store()
+    store.available_at = 0.0
+    vector = np.ones(VECTOR_ELEMS, dtype=np.float64)
+
+    def worker(rank: int):
+        for r in range(rounds):
+            merged = yield from scatter_reduce(
+                store, rank, workers, f"r{r}", vector, LOGICAL_NBYTES
+            )
+            assert merged.shape[0] == VECTOR_ELEMS
+
+    for rank in range(workers):
+        engine.spawn(worker(rank), f"w{rank}")
+    t0 = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - t0
+
+
+def main() -> int:
+    results = {}
+    for workers, baseline in sorted(SEED_BASELINE_S.items()):
+        elapsed = run_round(workers)
+        results[str(workers)] = {
+            "workers": workers,
+            "seed_seconds": baseline,
+            "current_seconds": round(elapsed, 4),
+            "speedup": round(baseline / elapsed, 2) if elapsed > 0 else float("inf"),
+        }
+        print(
+            f"w={workers:4d}  seed={baseline:8.3f}s  "
+            f"now={elapsed:8.3f}s  speedup={baseline / elapsed:8.1f}x"
+        )
+    out = {
+        "benchmark": "scatter_reduce round wall-clock (engine hot path)",
+        "seed_commit": "ea1bc81",
+        "logical_nbytes": LOGICAL_NBYTES,
+        "results": results,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    path.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"[written to {path}]")
+    target = results["100"]["speedup"]
+    if target < 10.0:
+        print(f"FAIL: 100-worker speedup {target}x < 10x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Root pytest plumbing shared by tests/ and benchmarks/.
+
+Registers the `per_test_timeout_s` ini option (set in pytest.ini,
+enforced by the autouse fixture in tests/conftest.py). Option
+registration must live in the rootdir conftest so pytest sees it
+during startup regardless of which directory is collected.
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser) -> None:
+    parser.addini(
+        "per_test_timeout_s",
+        help="Wall-clock seconds before a single test is aborted "
+        "(0 disables; applies to tests/, not benchmarks/).",
+        default="120",
+    )

@@ -22,6 +22,8 @@ housekeeping so long runs do not accumulate memory.
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
+
 import numpy as np
 
 from repro.comm.aggregator import reduce_vectors, split_chunks
@@ -39,6 +41,48 @@ POLL_INTERVAL_S = 0.05
 
 def _merge_seconds(total_bytes: float) -> float:
     return total_bytes / MERGE_BYTES_PER_SECOND
+
+
+# Pending reader counts for round files that are consumed by several
+# workers (`ar/.../merged`, `sr/.../merged_{rank}`): the last reader
+# discards the file, so long runs do not accumulate one object per
+# round per pattern. Keyed weakly by store so state dies with the run.
+_PENDING_READS: "WeakKeyDictionary[ObjectStore, dict[str, int]]" = WeakKeyDictionary()
+
+
+def _arm_gc(store: ObjectStore, key: str, readers: int) -> None:
+    """Arm the last-reader counter when the shared file is (re)written.
+
+    Producer-initialized on every put, so a retried round that reuses
+    a round id on the same store starts from a fresh count instead of
+    inheriting a stale, partially decremented one from an aborted run.
+    """
+    counts = _PENDING_READS.get(store)
+    if counts is None:
+        counts = {}
+        _PENDING_READS[store] = counts
+    counts[key] = readers
+
+
+def _discard_after_last_read(store: ObjectStore, key: str) -> None:
+    """Note one completed read of `key`; discard after the last one.
+
+    Safe with respect to simulated time: every reader's lookup happens
+    at its Get's *issue* instant, while the discard happens only once
+    every armed reader's Get has returned, so no reader can miss the
+    object. Zero-time, unbilled housekeeping (see ObjectStore.discard).
+    """
+    counts = _PENDING_READS.get(store)
+    if counts is None:
+        return
+    remaining = counts.get(key)
+    if remaining is None:
+        return
+    if remaining <= 1:
+        del counts[key]
+        store.discard(key)
+    else:
+        counts[key] = remaining - 1
 
 
 def allreduce(
@@ -67,10 +111,16 @@ def allreduce(
         yield Put(store, merged_key, SizedPayload(merged, logical_nbytes))
         for peer in range(workers):
             store.discard(f"{prefix}{peer:05d}")
+        if workers == 1:
+            # No followers will ever read (and thus GC) the merged file.
+            store.discard(merged_key)
+        else:
+            _arm_gc(store, merged_key, workers - 1)
         return merged
 
     yield WaitKey(store, merged_key, poll_interval)
     obj = yield Get(store, merged_key)
+    _discard_after_last_read(store, merged_key)
     return unwrap(obj)
 
 
@@ -91,38 +141,48 @@ def scatter_reduce(
 
     chunks = split_chunks(vector, workers)
     chunk_bytes = max(1, logical_nbytes // workers)
+    # Key fragments are reused w-1 times each; building them once keeps
+    # string formatting off the w^2-put hot path of large rounds.
+    ranks = [f"{peer:05d}" for peer in range(workers)]
+    me = ranks[rank]
+    base = f"sr/{round_id}/"
 
     # Scatter: send chunk j to its reducer (worker j). Own chunk stays local.
     for peer in range(workers):
         if peer == rank:
             continue
-        key = f"sr/{round_id}/for_{peer:05d}/from_{rank:05d}"
+        key = f"{base}for_{ranks[peer]}/from_{me}"
         yield Put(store, key, SizedPayload(chunks[peer], chunk_bytes))
 
     # Reduce my slice: wait for w-1 foreign contributions.
-    my_prefix = f"sr/{round_id}/for_{rank:05d}/"
+    my_prefix = f"{base}for_{me}/"
     yield WaitKeyCount(store, my_prefix, workers - 1, poll_interval, category="merge")
     contributions = [chunks[rank]]
     for peer in range(workers):
         if peer == rank:
             continue
-        obj = yield Get(store, f"sr/{round_id}/for_{rank:05d}/from_{peer:05d}")
+        obj = yield Get(store, f"{my_prefix}from_{ranks[peer]}")
         contributions.append(unwrap(obj))
     merged_chunk = reduce_vectors(contributions, reduce)
     yield Compute(_merge_seconds(chunk_bytes * workers), category="merge")
-    yield Put(store, f"sr/{round_id}/merged_{rank:05d}", SizedPayload(merged_chunk, chunk_bytes))
+    yield Put(store, f"{base}merged_{me}", SizedPayload(merged_chunk, chunk_bytes))
+    _arm_gc(store, f"{base}merged_{me}", workers - 1)
     for peer in range(workers):
         if peer != rank:
-            store.discard(f"sr/{round_id}/for_{rank:05d}/from_{peer:05d}")
+            store.discard(f"{my_prefix}from_{ranks[peer]}")
 
     # Gather: collect everyone's merged slice to rebuild the full vector.
-    yield WaitKeyCount(store, f"sr/{round_id}/merged_", workers, poll_interval)
+    yield WaitKeyCount(store, f"{base}merged_", workers, poll_interval)
     merged_parts: list[np.ndarray] = []
     for peer in range(workers):
         if peer == rank:
             merged_parts.append(merged_chunk)
             continue
-        obj = yield Get(store, f"sr/{round_id}/merged_{peer:05d}")
+        key = f"{base}merged_{ranks[peer]}"
+        obj = yield Get(store, key)
+        # Each merged slice is read by the other w-1 workers; the last
+        # of them retires it so rounds don't leak one file per rank.
+        _discard_after_last_read(store, key)
         merged_parts.append(unwrap(obj))
     return np.concatenate(merged_parts)
 

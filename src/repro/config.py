@@ -10,7 +10,19 @@ laptop-scale physical arrays.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
+
+
+def stable_hash(text: str) -> int:
+    """Process-independent string hash for seed derivation.
+
+    Builtin `hash()` is randomized per process (PYTHONHASHSEED), which
+    silently made every derived seed — and thus generated data and any
+    knife-edge convergence result — unreproducible across runs. CRC32
+    is stable across processes, platforms and Python versions.
+    """
+    return zlib.crc32(text.encode("utf-8"))
 
 # Seed used by every experiment unless the caller overrides it. All
 # randomness in the library flows through `utils.rng.make_rng`, so a
@@ -37,4 +49,4 @@ class ReproducibilityConfig:
 
     def child_seed(self, stream: str) -> int:
         """Derive a per-stream seed so subsystems do not share RNG state."""
-        return (self.seed * 1_000_003 + hash(stream)) % (2**31 - 1)
+        return (self.seed * 1_000_003 + stable_hash(stream)) % (2**31 - 1)

@@ -34,6 +34,22 @@ class CostMeter:
             raise ValueError(f"negative charge {dollars} for {component}")
         self.dollars[component] += dollars
 
+    def _add_repeated(self, component: str, dollars: float, count: int) -> None:
+        """Charge `dollars` exactly `count` times in one call.
+
+        Keeps the accumulator bit-identical to `count` separate
+        :meth:`add` calls (repeated float addition is not the same as
+        one fused ``count * dollars`` add) while doing the price lookup
+        and dict access once — this is the batched poll-billing path,
+        where `count` can be thousands per satisfied wait.
+        """
+        if dollars < 0:
+            raise ValueError(f"negative charge {dollars} for {component}")
+        total = self.dollars[component]
+        for _ in range(count):
+            total += dollars
+        self.dollars[component] = total
+
     @property
     def total(self) -> float:
         return sum(self.dollars.values())
@@ -57,18 +73,18 @@ class CostMeter:
         self.add("elasticache", hourly * (seconds / 3600.0))
 
     # -- storage requests ---------------------------------------------------
-    def bill_s3_request(self, op: str) -> None:
+    def bill_s3_request(self, op: str, count: int = 1) -> None:
         if op in ("put", "list", "delete"):
-            self.add("s3", self.catalog.s3_per_put)
+            self._add_repeated("s3", self.catalog.s3_per_put, count)
         else:
-            self.add("s3", self.catalog.s3_per_get)
-        self.counters[f"s3_{op}"] += 1
+            self._add_repeated("s3", self.catalog.s3_per_get, count)
+        self.counters[f"s3_{op}"] += count
 
-    def bill_dynamodb_request(self, op: str, nbytes: int) -> None:
+    def bill_dynamodb_request(self, op: str, nbytes: int, count: int = 1) -> None:
         if op in ("put", "delete"):
             units = max(1, math.ceil(nbytes / DYNAMODB_WRITE_UNIT_BYTES))
-            self.add("dynamodb", units * self.catalog.dynamodb_per_write_unit)
+            self._add_repeated("dynamodb", units * self.catalog.dynamodb_per_write_unit, count)
         else:
             units = max(1, math.ceil(nbytes / DYNAMODB_READ_UNIT_BYTES))
-            self.add("dynamodb", units * self.catalog.dynamodb_per_read_unit)
-        self.counters[f"dynamodb_{op}"] += 1
+            self._add_repeated("dynamodb", units * self.catalog.dynamodb_per_read_unit, count)
+        self.counters[f"dynamodb_{op}"] += count

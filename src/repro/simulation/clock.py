@@ -11,21 +11,22 @@ from repro.errors import SimulationError
 
 
 class SimClock:
-    """Monotonic simulated time in seconds."""
+    """Monotonic simulated time in seconds.
+
+    `now` is a plain public attribute (read several times per event on
+    the engine's hot path — a property descriptor would double the
+    cost); treat it as read-only and advance via :meth:`advance_to`.
+    """
 
     def __init__(self, start: float = 0.0) -> None:
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        return self._now
+        self.now = float(start)
 
     def advance_to(self, t: float) -> None:
-        if t < self._now - 1e-12:
+        if t < self.now - 1e-12:
             raise SimulationError(
-                f"clock cannot move backwards: now={self._now:.6f}, target={t:.6f}"
+                f"clock cannot move backwards: now={self.now:.6f}, target={t:.6f}"
             )
-        self._now = max(self._now, t)
+        self.now = max(self.now, t)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SimClock(now={self._now:.6f})"
+        return f"SimClock(now={self.now:.6f})"

@@ -7,6 +7,30 @@ at the simulated *completion* time of their operation, so reads that
 complete earlier never observe later writes. All scheduling is
 deterministic: ties are broken by a monotonically increasing sequence
 number.
+
+Complexity guarantees (the engine must scale to runs with hundreds of
+workers, so these are load-bearing — see ``benchmarks/
+bench_engine_microbench.py``):
+
+* Storage wake-ups are event-driven, not scan-driven. Waiters are
+  registered in dict-keyed registries (``key -> waiters`` for
+  :class:`WaitKey`, ``prefix -> waiters`` for :class:`WaitKeyCount`),
+  so a completed put wakes exactly the affected waiters: O(1) lookup
+  for the exact key plus O(len(key)) dict probes to find registered
+  prefixes the key falls under, plus O(waiters on that prefix) integer
+  comparisons. No put ever rescans unrelated waiters or stored keys.
+* Prefix counts come from the store's live counters (O(1) for a
+  registered prefix, O(log n) bisect otherwise) and key listings from
+  its sorted index (O(log n + matches)) — see
+  :mod:`repro.storage.base`.
+* Wake-up order is the waiters' registration order (tracked by a
+  dedicated sequence counter), matching what the historical linear
+  scan produced, so traces are reproducible across engine versions.
+* Poll billing for a satisfied waiter is one batched
+  ``record_polls(count)`` call, not one billing call per simulated
+  poll.
+* Service slot booking is O(log slots) via
+  :class:`repro.simulation.resources.ServiceQueue`'s heap.
 """
 
 from __future__ import annotations
@@ -84,10 +108,17 @@ class Engine:
         self.processes: list[Process] = []
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
-        # store id() -> list of (key, callback) single-key waiters.
-        self._key_waiters: dict[int, list[tuple[str, Callable[[float], None]]]] = {}
-        # store id() -> list of (prefix, count, callback) count waiters.
-        self._count_waiters: dict[int, list[tuple[str, int, Callable[[float], None]]]] = {}
+        # store id() -> key -> [(registration seq, callback)] waiters.
+        self._key_waiters: dict[int, dict[str, list[tuple[int, Callable[[float], None]]]]] = {}
+        # store id() -> prefix -> [(needed, registration seq, callback)].
+        self._count_waiters: dict[
+            int, dict[str, list[tuple[int, int, Callable[[float], None]]]]
+        ] = {}
+        # Registration order for waiters; separate from the event seq so
+        # registering a waiter never perturbs event tie-breaking.
+        self._waiter_seq = itertools.count()
+        # Live count of processes blocked inside a storage wait; used to
+        # attribute deadlocks to storage vs join/collective rendezvous.
         self._blocked_on_store = 0
 
     # ------------------------------------------------------------------
@@ -117,20 +148,26 @@ class Engine:
         Raises :class:`DeadlockError` if non-daemon processes remain
         blocked with no event that could ever wake them.
         """
-        while self._heap:
-            t, _, fn = heapq.heappop(self._heap)
+        # This loop pops one event per simulated operation for the whole
+        # run; bind the hot callables once instead of per iteration.
+        heap = self._heap
+        heappop = heapq.heappop
+        advance_to = self.clock.advance_to
+        while heap:
+            t, _, fn = heappop(heap)
             if until is not None and t > until:
                 # Put it back for a later resumed run() call.
                 self._schedule(t, fn)
-                self.clock.advance_to(until)
+                advance_to(until)
                 return
-            self.clock.advance_to(t)
+            advance_to(t)
             fn()
         stuck = [p for p in self.processes if p.state == ProcessState.BLOCKED and not p.daemon]
         if stuck:
             names = ", ".join(p.name for p in stuck[:8])
             raise DeadlockError(
-                f"{len(stuck)} process(es) blocked with no pending events: {names}"
+                f"{len(stuck)} process(es) blocked with no pending events "
+                f"({self._blocked_on_store} waiting on storage): {names}"
             )
         for proc in self.processes:
             if proc.daemon and proc.alive:
@@ -150,9 +187,10 @@ class Engine:
     # Scheduling internals
     # ------------------------------------------------------------------
     def _schedule(self, at: float, fn: Callable[[], None]) -> None:
-        if at < self.now - 1e-12:
-            raise SimulationError(f"cannot schedule event in the past: {at} < {self.now}")
-        heapq.heappush(self._heap, (max(at, self.now), next(self._seq), fn))
+        now = self.clock.now
+        if at < now - 1e-12:
+            raise SimulationError(f"cannot schedule event in the past: {at} < {now}")
+        heapq.heappush(self._heap, (at if at > now else now, next(self._seq), fn))
 
     def _first_step(self, proc: Process) -> None:
         if proc.state is not ProcessState.READY:
@@ -209,34 +247,35 @@ class Engine:
     # Command dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, proc: Process, command: Command) -> None:
-        if isinstance(command, (Sleep, Compute)):
-            if command.duration < 0 or not math.isfinite(command.duration):
-                raise SimulationError(
-                    f"{proc.name}: invalid duration {command.duration!r}"
-                )
-            proc.trace.add(command.category, command.duration)
-            self._resume_later(proc, self.now + command.duration)
-        elif isinstance(command, Put):
-            self._dispatch_put(proc, command)
-        elif isinstance(command, Get):
-            self._dispatch_get(proc, command)
-        elif isinstance(command, Delete):
-            self._dispatch_delete(proc, command)
-        elif isinstance(command, ListKeys):
-            self._dispatch_list(proc, command)
-        elif isinstance(command, WaitKey):
-            self._dispatch_wait_key(proc, command)
-        elif isinstance(command, WaitKeyCount):
-            self._dispatch_wait_count(proc, command)
-        elif isinstance(command, Spawn):
-            child = self.spawn(command.generator, command.name, delay=command.delay)
-            self._resume_later(proc, self.now, value=child)
-        elif isinstance(command, Join):
-            self._dispatch_join(proc, command)
-        elif isinstance(command, Collective):
-            self._dispatch_collective(proc, command)
+        # Exact-type table lookup: one dict probe per yielded command
+        # instead of walking an isinstance chain. Command subclasses
+        # (none in-tree) fall back to the equivalent isinstance walk.
+        handler = _DISPATCH_TABLE.get(type(command))
+        if handler is not None:
+            handler(self, proc, command)
         else:
-            raise SimulationError(f"{proc.name}: unknown command {command!r}")
+            self._dispatch_general(proc, command)
+
+    def _dispatch_timed(self, proc: Process, command: Sleep | Compute) -> None:
+        if command.duration < 0 or not math.isfinite(command.duration):
+            raise SimulationError(
+                f"{proc.name}: invalid duration {command.duration!r}"
+            )
+        proc.trace.add(command.category, command.duration)
+        self._resume_later(proc, self.now + command.duration)
+
+    def _dispatch_spawn(self, proc: Process, command: Spawn) -> None:
+        child = self.spawn(command.generator, command.name, delay=command.delay)
+        self._resume_later(proc, self.now, value=child)
+
+    def _dispatch_general(self, proc: Process, command: Command) -> None:
+        # Subclass fallback derived from the same table the fast path
+        # uses, so there is one source of truth for command handling.
+        for command_type, handler in _DISPATCH_TABLE.items():
+            if isinstance(command, command_type):
+                handler(self, proc, command)
+                return
+        raise SimulationError(f"{proc.name}: unknown command {command!r}")
 
     # -- storage ---------------------------------------------------------
     def _charge_op(self, proc: Process, category: str, issued: float, start: float, end: float):
@@ -330,37 +369,63 @@ class Engine:
             self._register_count_waiter(cmd.store, cmd.prefix, cmd.count, wake)
 
     def _register_key_waiter(self, store: Any, key: str, wake: Callable[[float], None]) -> None:
-        self._key_waiters.setdefault(id(store), []).append((key, wake))
+        by_key = self._key_waiters.setdefault(id(store), {})
+        by_key.setdefault(key, []).append((next(self._waiter_seq), wake))
         self._blocked_on_store += 1
 
     def _register_count_waiter(
         self, store: Any, prefix: str, count: int, wake: Callable[[float], None]
     ) -> None:
-        self._count_waiters.setdefault(id(store), []).append((prefix, count, wake))
+        by_prefix = self._count_waiters.setdefault(id(store), {})
+        waiters = by_prefix.setdefault(prefix, [])
+        if not waiters:
+            store.register_prefix(prefix)
+        waiters.append((count, next(self._waiter_seq), wake))
         self._blocked_on_store += 1
 
     def _notify_put(self, store: Any, key: str) -> None:
-        key_waiters = self._key_waiters.get(id(store), [])
-        still_waiting = []
-        for wanted, wake in key_waiters:
-            if wanted == key or store._exists(wanted):
-                self._blocked_on_store -= 1
-                wake(self.now)
-            else:
-                still_waiting.append((wanted, wake))
-        if key_waiters:
-            self._key_waiters[id(store)] = still_waiting
+        """Wake exactly the waiters affected by `key` becoming visible.
 
-        count_waiters = self._count_waiters.get(id(store), [])
-        still_counting = []
-        for prefix, count, wake in count_waiters:
-            if key.startswith(prefix) and store._count_prefix(prefix) >= count:
-                self._blocked_on_store -= 1
-                wake(self.now)
-            else:
-                still_counting.append((prefix, count, wake))
-        if count_waiters:
-            self._count_waiters[id(store)] = still_counting
+        Key waiters are indexed by exact key; count waiters by prefix,
+        located via the store's registered-prefix index. Satisfied
+        waiters fire in registration order (key waiters first, matching
+        the historical scan order), so wake-up sequence numbers — and
+        therefore all downstream tie-breaking — are deterministic.
+        """
+        sid = id(store)
+        by_key = self._key_waiters.get(sid)
+        if by_key:
+            woken = by_key.pop(key, None)
+            if woken:
+                for _, wake in woken:
+                    self._blocked_on_store -= 1
+                    wake(self.now)
+
+        by_prefix = self._count_waiters.get(sid)
+        if by_prefix:
+            satisfied: list[tuple[int, Callable[[float], None]]] = []
+            for prefix in list(store.matching_registered_prefixes(key)):
+                waiters = by_prefix.get(prefix)
+                if not waiters:
+                    continue
+                current = store._count_prefix(prefix)
+                remaining = [w for w in waiters if w[0] > current]
+                if len(remaining) == len(waiters):
+                    continue
+                satisfied.extend(w[1:] for w in waiters if w[0] <= current)
+                if remaining:
+                    by_prefix[prefix] = remaining
+                else:
+                    del by_prefix[prefix]
+                    store.unregister_prefix(prefix)
+            if satisfied:
+                # Registration (seq) order across prefixes, as the old
+                # linear scan woke them; seqs are unique so the wake
+                # callables are never compared.
+                satisfied.sort(key=lambda entry: entry[0])
+                for _, wake in satisfied:
+                    self._blocked_on_store -= 1
+                    wake(self.now)
 
     # -- join / collectives ------------------------------------------------
     def _dispatch_join(self, proc: Process, cmd: Join) -> None:
@@ -400,6 +465,22 @@ class Engine:
             member.trace.add("wait", t_last - arrived)
             member.trace.add(category, duration)
             self._resume_later(member, completion, value=result)
+
+
+# Unbound handlers keyed by exact command type (see Engine._dispatch).
+_DISPATCH_TABLE: dict[type, Callable[[Engine, Process, Any], None]] = {
+    Sleep: Engine._dispatch_timed,
+    Compute: Engine._dispatch_timed,
+    Put: Engine._dispatch_put,
+    Get: Engine._dispatch_get,
+    Delete: Engine._dispatch_delete,
+    ListKeys: Engine._dispatch_list,
+    WaitKey: Engine._dispatch_wait_key,
+    WaitKeyCount: Engine._dispatch_wait_count,
+    Spawn: Engine._dispatch_spawn,
+    Join: Engine._dispatch_join,
+    Collective: Engine._dispatch_collective,
+}
 
 
 def run_processes(

@@ -5,9 +5,15 @@ A :class:`ServiceQueue` represents a service that can perform at most
 Memcached's thread pool). Operations arriving while all slots are busy
 queue up deterministically; the returned completion time includes the
 queueing delay.
+
+Slots live in a min-heap keyed by ``(next_free_time, slot_index)``, so
+booking an operation is O(log slots) instead of a linear scan — S3's
+64-way concurrency is on the engine's per-operation hot path.
 """
 
 from __future__ import annotations
+
+import heapq
 
 from repro.errors import ConfigurationError
 
@@ -19,8 +25,8 @@ class ServiceQueue:
         if slots < 1:
             raise ConfigurationError(f"service needs >= 1 slot, got {slots}")
         self.slots = slots
-        # Next-free simulated time of each slot.
-        self._free_at = [0.0] * slots
+        # Min-heap of (next-free simulated time, slot index).
+        self._heap: list[tuple[float, int]] = [(0.0, i) for i in range(slots)]
 
     def schedule(self, arrival: float, duration: float) -> tuple[float, float]:
         """Book `duration` seconds of service starting at/after `arrival`.
@@ -31,16 +37,16 @@ class ServiceQueue:
         insofar as arrival times differ — identical arrivals are served
         in call order, which the engine keeps deterministic.
         """
-        idx = min(range(self.slots), key=lambda i: self._free_at[i])
-        start = max(arrival, self._free_at[idx])
+        free_at, idx = heapq.heappop(self._heap)
+        start = max(arrival, free_at)
         completion = start + duration
-        self._free_at[idx] = completion
+        heapq.heappush(self._heap, (completion, idx))
         return start, completion
 
     @property
     def busy_until(self) -> float:
         """Latest completion currently booked (for tests/diagnostics)."""
-        return max(self._free_at)
+        return max(free_at for free_at, _ in self._heap)
 
     def reset(self) -> None:
-        self._free_at = [0.0] * self.slots
+        self._heap = [(0.0, i) for i in range(self.slots)]

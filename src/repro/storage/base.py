@@ -2,19 +2,48 @@
 
 The data plane is a plain dict (the engine applies mutations at the
 simulated completion time of each operation, so visibility is
-chronologically consistent). The timing plane is a
-:class:`StorageProfile` — latency, bandwidth, concurrency, startup
-delay and item limit — which is where the services differ.
+chronologically consistent) plus an incremental index: a sorted key
+list maintained with :mod:`bisect`, and live counters for every prefix
+the engine has registered a waiter on. The index makes the hot-path
+queries cheap at scale:
+
+* ``_do_list(prefix)`` — O(log n + m) for n stored keys, m matches
+  (bisect the prefix range out of the sorted list);
+* ``_count_prefix(prefix)`` — O(1) for a registered prefix (live
+  counter), O(log n) otherwise (bisect);
+* each mutation — O(n) worst-case for the sorted-list insert/remove
+  (a C-level memmove) plus O(len(key)) dict probes to update the
+  registered-prefix counters.
+
+The timing plane is a :class:`StorageProfile` — latency, bandwidth,
+concurrency, startup delay and item limit — which is where the
+services differ.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator
 
 from repro.errors import ConfigurationError, ItemTooLargeError, KeyNotFoundError
 from repro.pricing.meter import CostMeter
 from repro.simulation.resources import ServiceQueue
+
+_MAX_CHAR = chr(0x10FFFF)
+
+
+def _prefix_upper_bound(prefix: str) -> str | None:
+    """Smallest string sorting after every string with `prefix`.
+
+    Returns None when no such string exists (empty prefix or all
+    characters already at the maximum code point), meaning the range
+    extends to the end of the key space.
+    """
+    for i in range(len(prefix) - 1, -1, -1):
+        if prefix[i] != _MAX_CHAR:
+            return prefix[:i] + chr(ord(prefix[i]) + 1)
+    return None
 
 
 @dataclass(frozen=True)
@@ -62,6 +91,11 @@ class ObjectStore:
         self.available_at = profile.startup_s if available_from is None else available_from
         self.queue = ServiceQueue(profile.concurrency)
         self._objects: dict[str, Any] = {}
+        # Incremental index: all stored keys in sorted order, plus live
+        # match counts for prefixes the engine is actively waiting on.
+        self._sorted_keys: list[str] = []
+        self._prefix_counts: dict[str, int] = {}
+        self._max_prefix_len = 0
 
     # ------------------------------------------------------------------
     # Timing plane (called by the engine)
@@ -101,16 +135,72 @@ class ObjectStore:
 
     def record_polls(self, count: int) -> None:
         """Bill `count` metadata polls issued by a waiting worker."""
-        for _ in range(count):
-            self._bill("list", 0)
+        self._bill("list", 0, count)
 
-    def _bill(self, op: str, nbytes: int) -> None:
+    def _bill(self, op: str, nbytes: int, count: int = 1) -> None:
         """Default: free (subclasses bill requests or node-hours)."""
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def _index_add(self, key: str) -> None:
+        insort(self._sorted_keys, key)
+        if self._prefix_counts:
+            for prefix in self.matching_registered_prefixes(key):
+                self._prefix_counts[prefix] += 1
+
+    def _index_remove(self, key: str) -> None:
+        idx = bisect_left(self._sorted_keys, key)
+        del self._sorted_keys[idx]
+        if self._prefix_counts:
+            for prefix in self.matching_registered_prefixes(key):
+                self._prefix_counts[prefix] -= 1
+
+    def _prefix_bounds(self, prefix: str) -> tuple[int, int]:
+        if not prefix:
+            return 0, len(self._sorted_keys)
+        lo = bisect_left(self._sorted_keys, prefix)
+        upper = _prefix_upper_bound(prefix)
+        hi = len(self._sorted_keys) if upper is None else bisect_left(
+            self._sorted_keys, upper, lo
+        )
+        return lo, hi
+
+    def matching_registered_prefixes(self, key: str) -> Iterator[str]:
+        """Registered prefixes that `key` falls under (at most len(key)+1)."""
+        counts = self._prefix_counts
+        if not counts:
+            return
+        for i in range(min(len(key), self._max_prefix_len) + 1):
+            prefix = key[:i]
+            if prefix in counts:
+                yield prefix
+
+    def register_prefix(self, prefix: str) -> int:
+        """Start tracking `prefix` with a live counter; returns the count.
+
+        Idempotent. The engine registers a prefix when its first waiter
+        blocks on it and unregisters when the last one is satisfied.
+        """
+        count = self._prefix_counts.get(prefix)
+        if count is None:
+            lo, hi = self._prefix_bounds(prefix)
+            count = hi - lo
+            self._prefix_counts[prefix] = count
+            self._max_prefix_len = max(self._max_prefix_len, len(prefix))
+        return count
+
+    def unregister_prefix(self, prefix: str) -> None:
+        self._prefix_counts.pop(prefix, None)
+        if not self._prefix_counts:
+            self._max_prefix_len = 0
 
     # ------------------------------------------------------------------
     # Data plane (called by the engine at completion time)
     # ------------------------------------------------------------------
     def _do_put(self, key: str, value: Any) -> None:
+        if key not in self._objects:
+            self._index_add(key)
         self._objects[key] = value
 
     def _do_get(self, key: str) -> Any:
@@ -120,24 +210,37 @@ class ObjectStore:
             raise KeyNotFoundError(f"{self.profile.name}: no such key {key!r}") from None
 
     def _do_delete(self, key: str) -> None:
-        self._objects.pop(key, None)
+        if key in self._objects:
+            del self._objects[key]
+            self._index_remove(key)
 
     def _do_list(self, prefix: str) -> list[str]:
-        return sorted(k for k in self._objects if k.startswith(prefix))
+        lo, hi = self._prefix_bounds(prefix)
+        return self._sorted_keys[lo:hi]
 
     def _exists(self, key: str) -> bool:
         return key in self._objects
 
     def _count_prefix(self, prefix: str) -> int:
-        return sum(1 for k in self._objects if k.startswith(prefix))
+        count = self._prefix_counts.get(prefix)
+        if count is not None:
+            return count
+        lo, hi = self._prefix_bounds(prefix)
+        return hi - lo
 
     # Test/diagnostic conveniences (no simulated time involved).
     def peek(self, key: str) -> Any:
         return self._do_get(key)
 
     def seed_object(self, key: str, value: Any) -> None:
-        """Place an object without simulated time (e.g. pre-uploaded data)."""
-        self._objects[key] = value
+        """Place an object without simulated time (e.g. pre-uploaded data).
+
+        A staging API for *before* the engine runs: the key is indexed
+        (listings and prefix counts see it) but no waiter is notified —
+        during a run, keys only become visible to blocked WaitKey /
+        WaitKeyCount processes through a simulated Put.
+        """
+        self._do_put(key, value)
 
     def discard(self, key: str) -> None:
         """Zero-time housekeeping removal of a consumed object.
@@ -147,7 +250,7 @@ class ObjectStore:
         accumulate memory. Not billed and not timed — by construction
         the discarded keys can never be read again.
         """
-        self._objects.pop(key, None)
+        self._do_delete(key)
 
     def __len__(self) -> int:
         return len(self._objects)

@@ -50,9 +50,9 @@ class S3Store(ObjectStore):
         )
         super().__init__(profile, meter=meter)
 
-    def _bill(self, op: str, nbytes: int) -> None:
+    def _bill(self, op: str, nbytes: int, count: int = 1) -> None:
         if self.meter is not None:
-            self.meter.bill_s3_request(op)
+            self.meter.bill_s3_request(op, count)
 
 
 class MemcachedStore(ObjectStore):
@@ -117,9 +117,9 @@ class DynamoDBStore(ObjectStore):
         # the paper observes ("infeasible for many median models").
         return int(nbytes * 1.12) + 256
 
-    def _bill(self, op: str, nbytes: int) -> None:
+    def _bill(self, op: str, nbytes: int, count: int = 1) -> None:
         if self.meter is not None:
-            self.meter.bill_dynamodb_request(op, nbytes)
+            self.meter.bill_dynamodb_request(op, nbytes, count)
 
 
 class VMDiskStore(ObjectStore):

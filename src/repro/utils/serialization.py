@@ -11,6 +11,7 @@ for time/cost accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any
 
 import numpy as np
@@ -29,13 +30,37 @@ class SizedPayload:
             raise ValueError(f"payload size must be >= 0, got {self.nbytes}")
 
 
+@lru_cache(maxsize=4096)
+def _str_nbytes(text: str) -> int:
+    """UTF-8 size of a string, memoized.
+
+    Storage keys and metadata-dict field names recur on every round of
+    a long run (hot keys), so the encode is paid once per distinct
+    string instead of once per sizing. Strings are immutable, which is
+    what makes this cache safe; container sizes are NOT cached because
+    lists/dicts can mutate between transfers.
+    """
+    return len(text.encode("utf-8"))
+
+
 def payload_nbytes(obj: Any) -> int:
     """Best-effort wire size of `obj` in bytes.
 
     numpy arrays and scipy sparse matrices report their buffer sizes;
     containers sum their elements; everything else falls back to a
-    small constant for bookkeeping metadata.
+    small constant for bookkeeping metadata. Exact builtin types take
+    an O(1) dispatch-table fast path — this function runs once per
+    simulated transfer, recursing over containers, so it is on the
+    engine's hot path.
     """
+    handler = _FAST_PATH.get(type(obj))
+    if handler is not None:
+        return handler(obj)
+    return _payload_nbytes_general(obj)
+
+
+def _payload_nbytes_general(obj: Any) -> int:
+    """Subclass-tolerant slow path (semantics of the original chain)."""
     if isinstance(obj, SizedPayload):
         return obj.nbytes
     if isinstance(obj, np.ndarray):
@@ -45,7 +70,7 @@ def payload_nbytes(obj: Any) -> int:
     if isinstance(obj, (bytes, bytearray)):
         return len(obj)
     if isinstance(obj, str):
-        return len(obj.encode("utf-8"))
+        return _str_nbytes(obj)
     if isinstance(obj, (int, float, bool)) or obj is None:
         return 8
     if isinstance(obj, dict):
@@ -54,6 +79,34 @@ def payload_nbytes(obj: Any) -> int:
         return sum(payload_nbytes(item) for item in obj)
     # Unknown object: charge a token amount so transfers are never free.
     return 64
+
+
+def _dict_nbytes(obj: dict) -> int:
+    return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+
+
+def _iterable_nbytes(obj: Any) -> int:
+    return sum(payload_nbytes(item) for item in obj)
+
+
+# Exact-type dispatch for the overwhelmingly common payloads. Subclasses
+# (np.float64 under float, IntEnum under int, ...) miss here and fall
+# through to the isinstance chain, which yields identical results.
+_FAST_PATH: dict[type, Any] = {
+    SizedPayload: lambda obj: obj.nbytes,
+    np.ndarray: lambda obj: int(obj.nbytes),
+    bytes: len,
+    bytearray: len,
+    str: _str_nbytes,
+    int: lambda obj: 8,
+    float: lambda obj: 8,
+    bool: lambda obj: 8,
+    type(None): lambda obj: 8,
+    dict: _dict_nbytes,
+    list: _iterable_nbytes,
+    tuple: _iterable_nbytes,
+    set: _iterable_nbytes,
+}
 
 
 def unwrap(obj: Any) -> Any:

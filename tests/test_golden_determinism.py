@@ -1,0 +1,109 @@
+"""Golden determinism regression for the engine's indexed data plane.
+
+The storage/event hot-path refactor (sorted key index, dict-keyed
+waiter registries, heap slot picker, batched poll billing) must not
+move a single simulated clock tick, trace second, or billed dollar.
+This test replays small reference jobs and compares `engine.now`,
+per-process :class:`TimeBreakdown` totals, and :class:`CostMeter`
+totals against values recorded on the pre-refactor seed engine
+(commit ea1bc81). Each job is also run twice in-process to catch
+run-to-run nondeterminism.
+
+Regenerate the golden file (only after an *intentional* semantic
+change, never to paper over a diff you can't explain):
+
+    PYTHONPATH=src python tests/test_golden_determinism.py --record
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.driver import train
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_engine.json"
+
+
+def _reference_configs() -> dict[str, TrainingConfig]:
+    base = dict(
+        model="lr",
+        dataset="higgs",
+        workers=3,
+        batch_size=10_000,
+        lr=0.05,
+        max_epochs=2,
+        seed=21,
+    )
+    return {
+        "faas_s3_scatterreduce": TrainingConfig(
+            algorithm="ga_sgd", system="lambdaml", channel="s3",
+            pattern="scatterreduce", **base,
+        ),
+        "faas_redis_allreduce": TrainingConfig(
+            algorithm="ma_sgd", system="lambdaml", channel="redis",
+            channel_prestarted=True, pattern="allreduce", **base,
+        ),
+        "iaas_pytorch": TrainingConfig(
+            algorithm="ga_sgd", system="pytorch", **base,
+        ),
+    }
+
+
+def _snapshot(config: TrainingConfig) -> dict:
+    """Run one reference job; extract every value that must not move."""
+    result = train(config)
+    return {
+        "duration_s": result.duration_s,
+        "cost_total": result.cost_total,
+        "cost_breakdown": dict(sorted(result.cost_breakdown.items())),
+        "per_worker_traces": [
+            dict(sorted(trace.seconds.items())) for trace in result.per_worker
+        ],
+        "comm_rounds": result.comm_rounds,
+        "epochs": result.epochs,
+        # Comparable across processes since data generation moved to
+        # stable_hash (seed-era data depended on PYTHONHASHSEED, so the
+        # original golden recording pinned times/costs only; the loss
+        # values here were re-recorded after the hash fix, with every
+        # timing field verified unchanged against the seed recording).
+        "final_loss": result.final_loss,
+    }
+
+
+def _assert_identical(actual: dict, expected: dict, label: str) -> None:
+    assert actual["duration_s"] == expected["duration_s"], label
+    assert actual["cost_total"] == expected["cost_total"], label
+    assert actual["cost_breakdown"] == expected["cost_breakdown"], label
+    assert actual["comm_rounds"] == expected["comm_rounds"], label
+    assert actual["epochs"] == expected["epochs"], label
+    assert actual["per_worker_traces"] == expected["per_worker_traces"], label
+    assert actual["final_loss"] == expected["final_loss"], label
+
+
+@pytest.mark.parametrize("name", sorted(_reference_configs()))
+def test_golden_engine_values(name: str) -> None:
+    golden = json.loads(GOLDEN_PATH.read_text())
+    config = _reference_configs()[name]
+    first = _snapshot(config)
+    _assert_identical(first, golden[name], f"{name}: drifted from seed engine")
+    second = _snapshot(config)
+    _assert_identical(second, first, f"{name}: run-to-run nondeterminism")
+
+
+def _record() -> None:
+    GOLDEN_PATH.parent.mkdir(exist_ok=True)
+    golden = {name: _snapshot(cfg) for name, cfg in _reference_configs().items()}
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n")
+    print(f"recorded {len(golden)} reference jobs to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    if "--record" in sys.argv:
+        _record()
+    else:
+        print(__doc__)

@@ -1,0 +1,315 @@
+"""Unit tests for the storage data-plane index and batched billing.
+
+Covers the incremental sorted-key index and registered-prefix live
+counters in :mod:`repro.storage.base`, the heap slot picker in
+:mod:`repro.simulation.resources`, the batched poll billing, the
+payload sizing fast path, and the communication patterns' round-file
+garbage collection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pricing.meter import CostMeter
+from repro.simulation.commands import Put, WaitKeyCount
+from repro.simulation.engine import Engine
+from repro.simulation.resources import ServiceQueue
+from repro.storage.base import ObjectStore, StorageProfile, _prefix_upper_bound
+from repro.storage.services import S3Store
+from repro.utils.serialization import SizedPayload, payload_nbytes
+
+
+def make_store() -> ObjectStore:
+    return ObjectStore(
+        StorageProfile(name="mem", latency_s=0.0, bandwidth_bps=1e9, concurrency=4)
+    )
+
+
+class TestPrefixUpperBound:
+    def test_simple(self):
+        assert _prefix_upper_bound("ab") == "ac"
+
+    def test_empty_means_unbounded(self):
+        assert _prefix_upper_bound("") is None
+
+    def test_trailing_max_char_carries(self):
+        top = chr(0x10FFFF)
+        assert _prefix_upper_bound("a" + top) == "b"
+        assert _prefix_upper_bound(top * 3) is None
+
+
+class TestSortedIndex:
+    def test_list_matches_brute_force(self):
+        store = make_store()
+        rng = np.random.default_rng(3)
+        alphabet = list("abc/_")
+        keys = {
+            "".join(rng.choice(alphabet, size=rng.integers(1, 10)))
+            for _ in range(200)
+        }
+        for key in keys:
+            store._do_put(key, 1)
+        for prefix in ["", "a", "ab", "c/", "zz", "a" * 12]:
+            expected = sorted(k for k in keys if k.startswith(prefix))
+            assert store._do_list(prefix) == expected
+            assert store._count_prefix(prefix) == len(expected)
+
+    def test_overwrite_does_not_duplicate(self):
+        store = make_store()
+        store._do_put("k", 1)
+        store._do_put("k", 2)
+        assert store._do_list("") == ["k"]
+        assert len(store) == 1
+        assert store.peek("k") == 2
+
+    def test_delete_and_discard_update_index(self):
+        store = make_store()
+        for key in ("p/1", "p/2", "q/1"):
+            store._do_put(key, 0)
+        store._do_delete("p/1")
+        store.discard("q/1")
+        store._do_delete("absent")  # idempotent
+        assert store._do_list("") == ["p/2"]
+        assert store._count_prefix("p/") == 1
+
+    def test_seed_object_is_indexed(self):
+        store = make_store()
+        store.seed_object("data/part_0", "x")
+        assert store._do_list("data/") == ["data/part_0"]
+        assert store._count_prefix("data/") == 1
+
+
+class TestRegisteredPrefixCounters:
+    def test_register_then_put_then_count(self):
+        store = make_store()
+        store._do_put("r/a", 0)
+        assert store.register_prefix("r/") == 1
+        store._do_put("r/b", 0)
+        store._do_put("s/other", 0)
+        assert store._count_prefix("r/") == 2
+        # Counter answer must agree with the bisect answer.
+        assert store._count_prefix("r/") == len(store._do_list("r/"))
+
+    def test_interleaved_deletes_keep_counter_live(self):
+        store = make_store()
+        store.register_prefix("x/")
+        for i in range(5):
+            store._do_put(f"x/{i}", i)
+        store._do_delete("x/1")
+        store.discard("x/3")
+        store._do_put("x/1", "again")
+        assert store._count_prefix("x/") == 4
+        assert store._count_prefix("x/") == len(store._do_list("x/"))
+
+    def test_nested_prefixes_both_counted(self):
+        store = make_store()
+        store.register_prefix("a/")
+        store.register_prefix("a/b/")
+        store._do_put("a/b/1", 0)
+        store._do_put("a/c/1", 0)
+        assert store._count_prefix("a/") == 2
+        assert store._count_prefix("a/b/") == 1
+        assert list(store.matching_registered_prefixes("a/b/1")) == ["a/", "a/b/"]
+
+    def test_register_idempotent_and_unregister_falls_back(self):
+        store = make_store()
+        store._do_put("p/1", 0)
+        assert store.register_prefix("p/") == 1
+        assert store.register_prefix("p/") == 1  # idempotent re-register
+        store.unregister_prefix("p/")
+        store.unregister_prefix("p/")  # idempotent removal
+        store._do_put("p/2", 0)
+        assert store._count_prefix("p/") == 2  # bisect fallback agrees
+
+
+class TestEngineWaitersWithDeletes:
+    def test_count_waiter_sees_interleaved_deletes(self):
+        """A deleted contribution must keep the waiter blocked."""
+        engine = Engine()
+        store = S3Store()
+        woken_at = {}
+
+        def writer():
+            yield Put(store, "w/0", 0)
+            yield Put(store, "w/1", 1)
+            # Zero-time removal between puts: count goes 2 -> 1.
+            store.discard("w/1")
+            yield Put(store, "w/2", 2)
+            yield Put(store, "w/3", 3)
+
+        def waiter():
+            yield WaitKeyCount(store, "w/", 3, poll_interval=0.01)
+            woken_at["t"] = engine.now
+
+        engine.spawn(writer(), "writer")
+        engine.spawn(waiter(), "waiter")
+        engine.run()
+        # Third *surviving* key is w/3, visible only at the fourth put.
+        assert woken_at["t"] >= 4 * store.profile.latency_s
+
+    def test_exact_key_wakeups_leave_other_waiters_blocked(self):
+        from repro.errors import DeadlockError
+        from repro.simulation.commands import WaitKey
+
+        engine = Engine()
+        store = S3Store()
+
+        def writer():
+            yield Put(store, "present", 1)
+
+        def waiter():
+            yield WaitKey(store, "never", poll_interval=0.01)
+
+        engine.spawn(writer(), "writer")
+        engine.spawn(waiter(), "stuck")
+        with pytest.raises(DeadlockError, match="waiting on storage"):
+            engine.run()
+
+
+class TestServiceQueueHeap:
+    def test_matches_linear_reference(self):
+        """Heap slot picking must reproduce the argmin-with-index-ties rule."""
+        rng = np.random.default_rng(11)
+        for slots in (1, 3, 8):
+            q = ServiceQueue(slots)
+            free_at = [0.0] * slots  # reference implementation
+            for _ in range(300):
+                arrival = float(rng.uniform(0, 50))
+                duration = float(rng.uniform(0.01, 5))
+                idx = min(range(slots), key=lambda i: free_at[i])
+                start = max(arrival, free_at[idx])
+                free_at[idx] = start + duration
+                assert q.schedule(arrival, duration) == (start, start + duration)
+                assert q.busy_until == max(free_at)
+
+
+class TestBatchedPollBilling:
+    def test_batched_polls_equal_per_call_billing(self):
+        batched, looped = CostMeter(), CostMeter()
+        store_batched = S3Store(meter=batched)
+        store_batched.record_polls(1237)
+        for _ in range(1237):
+            looped.bill_s3_request("list")
+        assert batched.dollars["s3"] == looped.dollars["s3"]  # bit-identical
+        assert batched.counters["s3_list"] == looped.counters["s3_list"] == 1237
+
+    def test_dynamodb_batched_counts(self):
+        meter = CostMeter()
+        meter.bill_dynamodb_request("get", 0, count=10)
+        reference = CostMeter()
+        for _ in range(10):
+            reference.bill_dynamodb_request("get", 0)
+        assert meter.dollars["dynamodb"] == reference.dollars["dynamodb"]
+        assert meter.counters["dynamodb_get"] == 10
+
+
+class TestPayloadFastPath:
+    def test_fast_and_general_agree(self):
+        samples = [
+            SizedPayload(np.zeros(2), 12345),
+            np.zeros(7, dtype=np.float32),
+            b"abc",
+            bytearray(b"abcd"),
+            "héllo",
+            7,
+            3.5,
+            True,
+            None,
+            {"key": np.zeros(4), "n": 1},
+            [1, "two", b"three"],
+            (1.0, 2.0),
+            {9, 10},
+            np.float64(2.5),  # float subclass -> slow path
+            object(),  # unknown -> 64
+        ]
+        from repro.utils.serialization import _payload_nbytes_general
+
+        for obj in samples:
+            assert payload_nbytes(obj) == _payload_nbytes_general(obj)
+
+    def test_hot_key_memoized_size_is_stable(self):
+        assert payload_nbytes("ar/r0/merged") == payload_nbytes("ar/r0/merged")
+        assert payload_nbytes("é") == 2
+
+
+class TestRoundFileGC:
+    @pytest.mark.parametrize("pattern_name", ["allreduce", "scatterreduce"])
+    def test_rounds_do_not_accumulate_objects(self, pattern_name):
+        from repro.comm.patterns import PATTERNS, allreduce, scatter_reduce
+
+        pattern = allreduce if pattern_name == "allreduce" else scatter_reduce
+        assert PATTERNS[
+            "allreduce" if pattern_name == "allreduce" else "scatterreduce"
+        ] is pattern
+        engine = Engine()
+        store = S3Store()
+        store.available_at = 0.0
+        workers, rounds = 4, 3
+        vector = np.ones(16)
+
+        def worker(rank):
+            for r in range(rounds):
+                merged = yield from pattern(
+                    store, rank, workers, f"r{r}", vector, 1024
+                )
+                assert merged is not None
+
+        for rank in range(workers):
+            engine.spawn(worker(rank), f"w{rank}")
+        engine.run()
+        leftovers = store._do_list("")
+        assert leftovers == [], f"leaked round files: {leftovers}"
+
+    def test_retried_round_survives_aborted_reader(self):
+        """A re-run round id must not inherit stale last-reader counts.
+
+        One worker dies mid-gather (after some of its Gets already
+        decremented counters); the whole round is retried with the same
+        round id on the same store. Producer-armed counters reset on
+        the retry's puts, so no live reader loses a file early.
+        """
+        from repro.comm.patterns import scatter_reduce
+
+        store = S3Store()
+        store.available_at = 0.0
+        workers = 3
+        vector = np.ones(9)
+
+        def attempt(engine, rank):
+            merged = yield from scatter_reduce(
+                store, rank, workers, "r0", vector, 512
+            )
+            assert merged.shape == vector.shape
+
+        first = Engine()
+        procs = [first.spawn(attempt(first, r), f"w{r}") for r in range(workers)]
+        # Kill worker 2 mid-run: depending on timing it may already
+        # have decremented some merged_* counters.
+        first.run(until=0.6)
+        first.kill(procs[2])
+        for proc in procs[:2]:
+            if proc.alive:
+                first.kill(proc)
+
+        retry = Engine()
+        for rank in range(workers):
+            retry.spawn(attempt(retry, rank), f"retry-w{rank}")
+        retry.run()  # must not raise KeyNotFoundError
+        assert store._do_list("sr/") == []
+
+    def test_single_worker_allreduce_leaves_nothing(self):
+        from repro.comm.patterns import allreduce
+
+        engine = Engine()
+        store = S3Store()
+        store.available_at = 0.0
+
+        def solo():
+            merged = yield from allreduce(store, 0, 1, "r0", np.ones(4), 64)
+            assert merged is not None
+
+        engine.spawn(solo(), "solo")
+        engine.run()
+        assert store._do_list("") == []
