@@ -7,13 +7,25 @@ Usage (installed as a module)::
     python -m repro.cli workloads
     python -m repro.cli estimate --model lr --dataset higgs \
         --algorithm ma_sgd --lr 0.05 --threshold 0.66
+    python -m repro.cli sweep --experiment fig11 --jobs 4 --resume
 
 `train` prints a RunResult summary plus breakdowns; `workloads` lists
 the tuned Table-4 workloads; `estimate` runs the sampling-based
-epochs-to-convergence estimator.
+epochs-to-convergence estimator; `sweep` fans an experiment grid over
+a process pool, writing one resumable JSON artifact per point.
 """
 
 from __future__ import annotations
+
+import os
+
+# Pin BLAS to one thread *before* numpy loads (same rationale as
+# tests/conftest.py): multithreaded reductions reorder float sums,
+# which would make sweep artifacts differ between hosts — and between
+# serial and pooled runs of the same grid.
+BLAS_THREAD_VARS = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS")
+for _var in BLAS_THREAD_VARS:
+    os.environ.setdefault(_var, "1")
 
 import argparse
 import sys
@@ -118,6 +130,73 @@ def _run_estimate(args: argparse.Namespace) -> int:
     return 0 if estimate.converged else 1
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _add_sweep_parser(subparsers) -> None:
+    from repro.sweep.registry import EXPERIMENTS
+
+    p = subparsers.add_parser(
+        "sweep",
+        help="run an experiment grid over a process pool with resumable "
+        "per-point JSON artifacts",
+    )
+    p.add_argument("--experiment", required=True, choices=sorted(EXPERIMENTS))
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = run inline)")
+    p.add_argument("--out", default=None,
+                   help="artifact directory (default: sweeps/<experiment>)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip points whose artifact already exists in --out")
+    p.add_argument("--max-epochs", type=_positive_float, default=None,
+                   help="override every point's epoch cap (scaled-down sweeps)")
+    p.add_argument("--seed", type=int, default=20210620)
+    p.add_argument("--no-report", action="store_true",
+                   help="skip the aggregated report (summary line only)")
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep.orchestrator import run_sweep
+    from repro.sweep.registry import get_experiment
+
+    # setdefault above respects a pre-set host env — but multithreaded
+    # BLAS reorders float sums, so artifacts would not be comparable
+    # across hosts (or against a pinned run). Say so rather than guess.
+    unpinned = [var for var in BLAS_THREAD_VARS if os.environ.get(var) != "1"]
+    if unpinned:
+        print(
+            f"warning: {', '.join(unpinned)} pre-set to a value other than 1; "
+            "multithreaded BLAS may make artifacts differ from "
+            "single-threaded hosts (unset, or export =1, for bit-stable sweeps)",
+            file=sys.stderr,
+        )
+
+    experiment = get_experiment(args.experiment)
+    points = experiment.points(max_epochs=args.max_epochs, seed=args.seed)
+    out_dir = args.out or os.path.join("sweeps", experiment.name)
+    run = run_sweep(
+        points,
+        out_dir=out_dir,
+        jobs=args.jobs,
+        resume=args.resume,
+        progress=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    if not args.no_report:
+        print(experiment.format_report(experiment.aggregate(run.artifacts)))
+        print()
+    print(
+        f"sweep {experiment.name}: {run.ran} point(s) run, "
+        f"{run.skipped} skipped via resume, "
+        f"{len(run.corrupt)} corrupt artifact(s) re-run; "
+        f"artifacts in {run.out_dir}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -127,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_train_parser(subparsers)
     subparsers.add_parser("workloads", help="list tuned Table-4 workloads")
     _add_estimate_parser(subparsers)
+    _add_sweep_parser(subparsers)
     return parser
 
 
@@ -136,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": _run_train,
         "workloads": _run_workloads,
         "estimate": _run_estimate,
+        "sweep": _run_sweep,
     }
     return handlers[args.command](args)
 

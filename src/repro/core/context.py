@@ -11,7 +11,7 @@ helpers.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
@@ -27,13 +27,12 @@ from repro.data.datasets import DatasetSpec, get_spec
 from repro.data.loader import Shard, make_shards
 from repro.data.synth import generate
 from repro.errors import ConfigurationError, OutOfMemoryError
-from repro.faas.checkpoint import Checkpoint, checkpoint_bytes
 from repro.faas.limits import LambdaLimits, lambda_speed_factor
 from repro.faas.runtime import FunctionLifetime, faas_startup_seconds
-from repro.iaas.cluster import VMCluster, iaas_startup_seconds
+from repro.iaas.cluster import VMCluster
 from repro.iaas.mpi import MPICommunicator
-from repro.iaas.ps import ParameterServer, PSTimingModel, make_parameter_server
-from repro.iaas.vm import InstanceSpec, get_instance
+from repro.iaas.ps import ParameterServer, make_parameter_server
+from repro.iaas.vm import get_instance
 from repro.models.zoo import ModelInfo, get_model_info
 from repro.optim.base import DistributedAlgorithm, make_algorithm
 from repro.pricing.meter import CostMeter

@@ -10,16 +10,20 @@ cost-optimal point is IaaS while FaaS is runtime-optimal; for MobileNet
 a T4 GPU configuration dominates FaaS on both axes (~8x faster, ~9.5x
 cheaper than the best FaaS in the paper; the M60 is ~15% slower and
 ~30% costlier than the T4).
+
+The per-workload configuration grid is declarative
+(:func:`workload_points`) and runs on the sweep orchestrator;
+:func:`aggregate` rebuilds the scatters from per-point JSON artifacts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.config import TrainingConfig
-from repro.core.driver import train
 from repro.experiments.report import format_table
 from repro.experiments.workloads import get_workload
+from repro.sweep.grid import SweepPoint
+from repro.sweep.orchestrator import run_sweep
 
 
 @dataclass
@@ -45,7 +49,7 @@ class Scatter:
         return min(candidates, key=lambda p: getattr(p, key))
 
 
-def run_workload(
+def workload_points(
     model: str,
     dataset: str,
     workers: int,
@@ -54,14 +58,15 @@ def run_workload(
     gpu_instances: tuple[str, ...] = (),
     max_epochs: float | None = None,
     seed: int = 20210620,
-) -> Scatter:
+) -> list[SweepPoint]:
+    """The configuration grid of one Figure-12 scatter."""
     workload = get_workload(model, dataset)
     cap = max_epochs or workload.max_epochs
     lrs = lr_grid or (workload.lr / 2, workload.lr, workload.lr * 2)
-    scatter = Scatter(workload=f"{model}/{dataset}")
+    series = f"{model}/{dataset}"
 
-    def base(lr: float, **kw) -> TrainingConfig:
-        return TrainingConfig(
+    def base(lr: float, **kw) -> dict:
+        return dict(
             model=model, dataset=dataset, workers=kw.pop("workers", workers),
             batch_size=workload.batch_size, batch_scope=workload.batch_scope,
             min_local_batch=workload.min_local_batch,
@@ -76,23 +81,90 @@ def run_workload(
     # different instance types for IaaS" — and worker counts for both):
     # FaaS's elasticity is exactly that it can deploy more workers.
     faas_worker_grid = [workers] if deep else [workers, 2 * workers, 3 * workers]
+    points = []
     for lr in lrs:
         for w in faas_worker_grid:
-            cfg = base(lr, system="lambdaml", algorithm=algorithm, channel="s3", workers=w)
-            r = train(cfg)
-            scatter.points.append(
-                ConfigPoint(
-                    "faas", f"faas,W={w},lr={lr:g}", r.duration_s, r.cost_total, r.converged
+            label = f"faas,W={w},lr={lr:g}"
+            points.append(
+                SweepPoint(
+                    "fig12", f"{series} {label}",
+                    config_kwargs=base(
+                        lr, system="lambdaml", algorithm=algorithm,
+                        channel="s3", workers=w,
+                    ),
+                    tags={"workload": series, "platform": "faas", "config": label},
                 )
             )
         for instance in iaas_instances + gpu_instances:
-            r = train(base(lr, system="pytorch", algorithm=algorithm, instance=instance))
-            scatter.points.append(
-                ConfigPoint(
-                    "iaas", f"{instance},lr={lr:g}", r.duration_s, r.cost_total, r.converged
+            label = f"{instance},lr={lr:g}"
+            points.append(
+                SweepPoint(
+                    "fig12", f"{series} {label}",
+                    config_kwargs=base(
+                        lr, system="pytorch", algorithm=algorithm, instance=instance
+                    ),
+                    tags={"workload": series, "platform": "iaas", "config": label},
                 )
             )
-    return scatter
+    return points
+
+
+def sweep_points(
+    workers_cap: int = 20,
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> list[SweepPoint]:
+    """The full Figure-12 grid: three YFCC workloads plus MobileNet."""
+    points = []
+    for model in ("lr", "svm", "kmeans"):
+        workload = get_workload(model, "yfcc100m")
+        points += workload_points(
+            model, "yfcc100m",
+            workers=min(workload.workers, workers_cap) if workers_cap else workload.workers,
+            max_epochs=max_epochs, seed=seed,
+        )
+    points += workload_points(
+        "mobilenet", "cifar10", workers=10,
+        gpu_instances=("g3s.xlarge", "g4dn.xlarge"),
+        max_epochs=max_epochs, seed=seed,
+    )
+    return points
+
+
+def aggregate(artifacts: list[dict]) -> list[Scatter]:
+    """Rebuild the per-workload scatters from sweep artifacts."""
+    scatters: dict[str, Scatter] = {}
+    for artifact in artifacts:
+        tags = artifact["tags"]
+        scatter = scatters.setdefault(tags["workload"], Scatter(workload=tags["workload"]))
+        res = artifact["result"]
+        scatter.points.append(
+            ConfigPoint(
+                platform=tags["platform"],
+                label=tags["config"],
+                runtime_s=res["duration_s"],
+                cost=res["cost_total"],
+                converged=res["converged"],
+            )
+        )
+    return list(scatters.values())
+
+
+def run_workload(
+    model: str,
+    dataset: str,
+    workers: int,
+    lr_grid: tuple[float, ...] | None = None,
+    iaas_instances: tuple[str, ...] = ("t2.medium", "c5.xlarge"),
+    gpu_instances: tuple[str, ...] = (),
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> Scatter:
+    points = workload_points(
+        model, dataset, workers, lr_grid=lr_grid, iaas_instances=iaas_instances,
+        gpu_instances=gpu_instances, max_epochs=max_epochs, seed=seed,
+    )
+    return aggregate(run_sweep(points).artifacts)[0]
 
 
 def run(
@@ -100,24 +172,8 @@ def run(
     max_epochs: float | None = None,
     seed: int = 20210620,
 ) -> list[Scatter]:
-    scatters = []
-    for model in ("lr", "svm", "kmeans"):
-        workload = get_workload(model, "yfcc100m")
-        scatters.append(
-            run_workload(
-                model, "yfcc100m",
-                workers=min(workload.workers, workers_cap) if workers_cap else workload.workers,
-                max_epochs=max_epochs, seed=seed,
-            )
-        )
-    scatters.append(
-        run_workload(
-            "mobilenet", "cifar10", workers=10,
-            gpu_instances=("g3s.xlarge", "g4dn.xlarge"),
-            max_epochs=max_epochs, seed=seed,
-        )
-    )
-    return scatters
+    points = sweep_points(workers_cap=workers_cap, max_epochs=max_epochs, seed=seed)
+    return aggregate(run_sweep(points).artifacts)
 
 
 def format_report(scatters: list[Scatter]) -> str:

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from repro.core.config import TrainingConfig
 from repro.core.driver import train
 from repro.core.results import RunResult
-from repro.errors import ConfigurationError
 from repro.experiments.report import format_series, format_table
 from repro.experiments.workloads import get_workload
 

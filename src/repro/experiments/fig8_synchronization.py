@@ -8,17 +8,22 @@ Expected shape: the asynchronous runs progress faster per iteration
 (2 storage operations per round instead of ~3w) but converge unstably —
 stale read-modify-write cycles overwrite each other's progress — so BSP
 reaches the threshold reliably while ASP oscillates above it.
+
+The BSP/ASP pairs are a declarative grid (:func:`sweep_points`) run by
+the sweep orchestrator; :func:`aggregate` rebuilds the comparisons —
+including the loss-vs-time curves — from per-point JSON artifacts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import TrainingConfig
-from repro.core.driver import train
 from repro.core.results import RunResult
 from repro.experiments.report import format_series, format_table
 from repro.experiments.workloads import get_workload
+from repro.sweep.artifacts import result_from_artifact
+from repro.sweep.grid import SweepPoint, expand_grid
+from repro.sweep.orchestrator import run_sweep
 
 CASES = [
     # (model, dataset, workers)
@@ -35,24 +40,21 @@ class SyncComparison:
     asp: RunResult
 
 
-def run_case(
-    model: str,
-    dataset: str,
-    workers: int,
-    max_epochs: float | None = None,
-    seed: int = 20210620,
-) -> SyncComparison:
-    workload = get_workload(model, dataset)
-
-    def config(protocol: str) -> TrainingConfig:
-        return TrainingConfig(
+def sweep_points(
+    cases=CASES, max_epochs: float | None = None, seed: int = 20210620
+) -> list[SweepPoint]:
+    """One BSP and one S-ASP point per (model, dataset, W) case."""
+    points = []
+    for model, dataset, workers in cases:
+        workload = get_workload(model, dataset)
+        label = f"{model}/{dataset},W={workers}"
+        base = dict(
             model=model,
             dataset=dataset,
             algorithm="ga_sgd",
             system="lambdaml",
             workers=workers,
             channel="s3",
-            protocol=protocol,
             batch_size=workload.batch_size,
             batch_scope=workload.batch_scope,
             lr=workload.lr,
@@ -62,16 +64,53 @@ def run_case(
             straggler_jitter=0.3,
             seed=seed,
         )
+        points += [
+            SweepPoint(
+                "fig8", f"{label} {kw['protocol']}",
+                config_kwargs=kw,
+                tags={"case": label, "protocol": kw["protocol"]},
+            )
+            for kw in expand_grid(base, {"protocol": ("bsp", "asp")})
+        ]
+    return points
 
-    return SyncComparison(
-        label=f"{model}/{dataset},W={workers}",
-        bsp=train(config("bsp")),
-        asp=train(config("asp")),
+
+def aggregate(artifacts: list[dict]) -> list[SyncComparison]:
+    """Pair BSP/ASP artifacts back into per-case comparisons.
+
+    Cases missing one side of the pair (an interrupted sweep directory)
+    are skipped — like the other aggregators, any artifact subset is
+    renderable, just incompletely.
+    """
+    paired: dict[str, dict[str, RunResult]] = {}
+    for artifact in artifacts:
+        tags = artifact["tags"]
+        paired.setdefault(tags["case"], {})[tags["protocol"]] = result_from_artifact(
+            artifact
+        )
+    return [
+        SyncComparison(label=case, bsp=results["bsp"], asp=results["asp"])
+        for case, results in paired.items()
+        if "bsp" in results and "asp" in results
+    ]
+
+
+def run_case(
+    model: str,
+    dataset: str,
+    workers: int,
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> SyncComparison:
+    points = sweep_points(
+        cases=[(model, dataset, workers)], max_epochs=max_epochs, seed=seed
     )
+    return aggregate(run_sweep(points).artifacts)[0]
 
 
 def run(max_epochs: float | None = None, cases=CASES, seed: int = 20210620):
-    return [run_case(m, d, w, max_epochs=max_epochs, seed=seed) for m, d, w in cases]
+    points = sweep_points(cases=cases, max_epochs=max_epochs, seed=seed)
+    return aggregate(run_sweep(points).artifacts)
 
 
 def format_report(comparisons: list[SyncComparison]) -> str:

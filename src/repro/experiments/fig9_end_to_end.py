@@ -10,17 +10,22 @@ LambdaML converges first thanks to ~1 s start-up and ADMM; Angel is
 slowest (start-up + HDFS + compute); HybridPS beats plain PyTorch for
 small models; for MobileNet/ResNet the hybrid is serdes-bound, PyTorch
 beats LambdaML, and PyTorch-GPU wins outright.
+
+Every panel is a grid declaration (:func:`sweep_points`, one point per
+system) executed by the sweep orchestrator; :func:`aggregate` rebuilds
+the panels — loss curves included — from per-point JSON artifacts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.config import TrainingConfig
-from repro.core.driver import train
 from repro.core.results import RunResult
 from repro.experiments.report import format_series, format_table
 from repro.experiments.workloads import Workload, get_workload
+from repro.sweep.artifacts import result_from_artifact
+from repro.sweep.grid import SweepPoint
+from repro.sweep.orchestrator import run_sweep
 
 
 @dataclass
@@ -31,8 +36,8 @@ class EndToEndPanel:
     results: dict[str, RunResult] = field(default_factory=dict)
 
 
-def _system_configs(workload: Workload, workers: int, max_epochs: float, seed: int):
-    """Yield (label, TrainingConfig) pairs for one panel."""
+def _system_kwargs(workload: Workload, workers: int, max_epochs: float, seed: int):
+    """Yield (label, TrainingConfig kwargs) pairs for one panel."""
     deep = workload.model in ("mobilenet", "resnet50")
     base = dict(
         model=workload.model,
@@ -52,41 +57,21 @@ def _system_configs(workload: Workload, workers: int, max_epochs: float, seed: i
     else:
         sgd_algo = "ga_sgd" if deep else "ma_sgd"
 
-    yield "lambdaml", TrainingConfig(
-        system="lambdaml", algorithm=best_algo, channel="s3", **base
-    )
-    yield "pytorch-sgd", TrainingConfig(
-        system="pytorch", algorithm=sgd_algo, instance="t2.medium", **base
+    yield "lambdaml", dict(base, system="lambdaml", algorithm=best_algo, channel="s3")
+    yield "pytorch-sgd", dict(
+        base, system="pytorch", algorithm=sgd_algo, instance="t2.medium"
     )
     if not deep and workload.algorithm == "admm":
-        yield "pytorch-admm", TrainingConfig(
-            system="pytorch", algorithm="admm", instance="t2.medium", **base
+        yield "pytorch-admm", dict(
+            base, system="pytorch", algorithm="admm", instance="t2.medium"
         )
     if workload.algorithm != "em":
-        yield "hybridps", TrainingConfig(system="hybridps", algorithm="ga_sgd", **base)
-    yield "angel", TrainingConfig(
-        system="angel", algorithm=sgd_algo, instance="t2.medium", **base
-    )
+        yield "hybridps", dict(base, system="hybridps", algorithm="ga_sgd")
+    yield "angel", dict(base, system="angel", algorithm=sgd_algo, instance="t2.medium")
     if deep:
-        yield "pytorch-gpu", TrainingConfig(
-            system="pytorch", algorithm="ga_sgd", instance="g3s.xlarge", **base
+        yield "pytorch-gpu", dict(
+            base, system="pytorch", algorithm="ga_sgd", instance="g3s.xlarge"
         )
-
-
-def run_panel(
-    model: str,
-    dataset: str,
-    workers: int | None = None,
-    max_epochs: float | None = None,
-    seed: int = 20210620,
-) -> EndToEndPanel:
-    workload = get_workload(model, dataset)
-    w = workers if workers is not None else workload.workers
-    cap = max_epochs if max_epochs is not None else workload.max_epochs
-    panel = EndToEndPanel(workload=f"{model}/{dataset},W={w}")
-    for label, config in _system_configs(workload, w, cap, seed):
-        panel.results[label] = train(config)
-    return panel
 
 
 # The paper's twelve panels (Figure 9 a-l).
@@ -106,18 +91,75 @@ ALL_PANELS = [
 ]
 
 
+def panel_points(
+    model: str,
+    dataset: str,
+    workers: int,
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> list[SweepPoint]:
+    """One point per system for a single panel, at exactly ``workers``."""
+    workload = get_workload(model, dataset)
+    cap = max_epochs if max_epochs is not None else workload.max_epochs
+    panel_label = f"{model}/{dataset},W={workers}"
+    return [
+        SweepPoint(
+            "fig9", f"{panel_label} {label}",
+            config_kwargs=kwargs,
+            tags={"panel": panel_label, "system": label},
+        )
+        for label, kwargs in _system_kwargs(workload, workers, cap, seed)
+    ]
+
+
+def sweep_points(
+    panels=ALL_PANELS,
+    workers_cap: int | None = None,
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> list[SweepPoint]:
+    """One point per (panel, system) cell of Figure 9."""
+    points = []
+    for model, dataset in panels:
+        workload = get_workload(model, dataset)
+        w = workload.workers if workers_cap is None else min(workload.workers, workers_cap)
+        points += panel_points(model, dataset, w, max_epochs=max_epochs, seed=seed)
+    return points
+
+
+def aggregate(artifacts: list[dict]) -> list[EndToEndPanel]:
+    """Rebuild the per-workload panels from sweep artifacts."""
+    panels: dict[str, EndToEndPanel] = {}
+    for artifact in artifacts:
+        tags = artifact["tags"]
+        panel = panels.setdefault(tags["panel"], EndToEndPanel(workload=tags["panel"]))
+        panel.results[tags["system"]] = result_from_artifact(artifact)
+    return list(panels.values())
+
+
+def run_panel(
+    model: str,
+    dataset: str,
+    workers: int | None = None,
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> EndToEndPanel:
+    workload = get_workload(model, dataset)
+    w = workers if workers is not None else workload.workers
+    points = panel_points(model, dataset, w, max_epochs=max_epochs, seed=seed)
+    return aggregate(run_sweep(points).artifacts)[0]
+
+
 def run(
     panels=ALL_PANELS,
     workers_cap: int | None = None,
     max_epochs: float | None = None,
     seed: int = 20210620,
 ) -> list[EndToEndPanel]:
-    out = []
-    for model, dataset in panels:
-        workload = get_workload(model, dataset)
-        w = workload.workers if workers_cap is None else min(workload.workers, workers_cap)
-        out.append(run_panel(model, dataset, workers=w, max_epochs=max_epochs, seed=seed))
-    return out
+    points = sweep_points(
+        panels=panels, workers_cap=workers_cap, max_epochs=max_epochs, seed=seed
+    )
+    return aggregate(run_sweep(points).artifacts)
 
 
 def format_report(panels: list[EndToEndPanel]) -> str:

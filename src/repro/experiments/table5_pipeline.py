@@ -15,8 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.config import TrainingConfig
 from repro.core.driver import train
 from repro.experiments.report import format_table

@@ -15,7 +15,7 @@ a gradient update and whose `get` returns the current model.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.iaas.vm import InstanceSpec, get_instance
 from repro.pricing.meter import CostMeter
 from repro.simulation.resources import ServiceQueue
 from repro.storage.base import ObjectStore, StorageProfile
-from repro.utils.serialization import SizedPayload, payload_nbytes, unwrap
+from repro.utils.serialization import SizedPayload, unwrap
 
 MB = 1024 * 1024
 

@@ -1,0 +1,47 @@
+"""Process-parallel sweep orchestration with resumable JSON artifacts.
+
+A sweep is a grid of :class:`~repro.core.config.TrainingConfig` points
+fanned out over a ``multiprocessing`` pool of deterministic single-run
+workers. Every completed point is persisted as one JSON artifact named
+by the config's content hash, so an interrupted sweep resumes by
+skipping the hashes already on disk (``repro.cli sweep --resume``).
+
+Layout:
+
+* :mod:`repro.sweep.grid` — declarative grid specs, ``SweepPoint``,
+  config fingerprinting/hashing.
+* :mod:`repro.sweep.artifacts` — the per-point JSON schema, atomic
+  writes, validation, and corrupt-artifact detection.
+* :mod:`repro.sweep.orchestrator` — the pool fan-out / resume loop.
+* :mod:`repro.sweep.registry` — named sweep experiments the CLI runs
+  (fig8 / fig9 / fig11 / fig12 grids plus a seconds-scale ``smoke``).
+"""
+
+from repro.sweep.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    artifact_from_result,
+    load_artifact,
+    result_from_artifact,
+    scan_artifacts,
+    write_artifact,
+)
+from repro.sweep.grid import SweepPoint, config_fingerprint, config_hash, expand_grid
+from repro.sweep.orchestrator import SweepRun, run_point, run_sweep
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactError",
+    "SweepPoint",
+    "SweepRun",
+    "artifact_from_result",
+    "config_fingerprint",
+    "config_hash",
+    "expand_grid",
+    "load_artifact",
+    "result_from_artifact",
+    "run_point",
+    "run_sweep",
+    "scan_artifacts",
+    "write_artifact",
+]

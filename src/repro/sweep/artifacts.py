@@ -1,0 +1,202 @@
+"""Per-point sweep artifacts: one JSON file per completed run.
+
+Artifact schema (version 1)::
+
+    {
+      "schema": 1,
+      "experiment": "fig11",
+      "label": "faas,W=512",
+      "tags": {"series": "lr/higgs", "system": "faas"},
+      "config_hash": "<16 hex chars>",
+      "config": { ...TrainingConfig init kwargs, defaults included... },
+      "result": {
+        "converged": bool,
+        "final_loss": float,
+        "duration_s": float,          # simulated wall-clock
+        "cost_total": float,
+        "cost_breakdown": {component: dollars},
+        "epochs": float,
+        "comm_rounds": int,
+        "checkpoints": int,
+        "final_accuracy": float | null,
+        "time_breakdown": {category: seconds},   # Figure-10 style
+        "history": [[time_s, epoch, loss, worker], ...]
+      },
+      "meta": {"wall_seconds": float}  # host wall-clock; NOT deterministic
+    }
+
+Everything outside ``meta`` is a pure function of the config, so two
+artifacts for the same point — serial or across the pool boundary —
+must be byte-identical after dropping ``meta`` (the determinism tests
+assert exactly that).
+
+Writes are atomic (tmp file + ``os.replace``) so an interrupted sweep
+never leaves a half-written ``<hash>.json``; a partial/corrupt file is
+reported by :func:`scan_artifacts` and simply re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro import __version__ as repro_version
+from repro.core.config import TrainingConfig
+from repro.core.results import LossPoint, RunResult
+from repro.simulation.tracing import TimeBreakdown
+from repro.sweep.grid import SweepPoint, config_fingerprint, fingerprint_hash
+
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+class ArtifactError(ValueError):
+    """A sweep artifact is corrupt, partial, or from another schema."""
+
+
+def artifact_from_result(
+    point: SweepPoint, result: RunResult, wall_seconds: float = 0.0
+) -> dict:
+    """Serialize one completed run as a schema-1 artifact dict."""
+    fingerprint = config_fingerprint(result.config)
+    return {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "experiment": point.experiment,
+        "label": point.label,
+        "tags": dict(point.tags),
+        "config_hash": fingerprint_hash(fingerprint),
+        "config": fingerprint,
+        "result": {
+            "converged": result.converged,
+            "final_loss": result.final_loss,
+            "duration_s": result.duration_s,
+            "cost_total": result.cost_total,
+            "cost_breakdown": dict(result.cost_breakdown),
+            "epochs": result.epochs,
+            "comm_rounds": result.comm_rounds,
+            "checkpoints": result.checkpoints,
+            "final_accuracy": result.final_accuracy,
+            "time_breakdown": result.breakdown.as_dict(),
+            "history": [
+                [p.time_s, p.epoch, p.loss, p.worker] for p in result.history
+            ],
+        },
+        "meta": {
+            "wall_seconds": round(wall_seconds, 3),
+            # Which simulator produced this result. The config hash
+            # cannot see code changes, so resume surfaces a warning
+            # when it reuses artifacts from another engine version.
+            "engine_version": repro_version,
+        },
+    }
+
+
+def result_from_artifact(artifact: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` view from an artifact.
+
+    Per-worker traces are not persisted, so ``per_worker`` is empty;
+    everything the experiment aggregators/report renderers consume is
+    reconstructed exactly.
+    """
+    res = artifact["result"]
+    breakdown = TimeBreakdown()
+    for category, seconds in res["time_breakdown"].items():
+        breakdown.add(category, seconds)
+    return RunResult(
+        config=TrainingConfig(**artifact["config"]),
+        converged=res["converged"],
+        final_loss=res["final_loss"],
+        duration_s=res["duration_s"],
+        cost_total=res["cost_total"],
+        cost_breakdown=dict(res["cost_breakdown"]),
+        epochs=res["epochs"],
+        comm_rounds=res["comm_rounds"],
+        history=[
+            LossPoint(time_s, epoch, loss, worker)
+            for time_s, epoch, loss, worker in res["history"]
+        ],
+        breakdown=breakdown,
+        checkpoints=res["checkpoints"],
+        final_accuracy=res["final_accuracy"],
+    )
+
+
+def artifact_path(out_dir: str | os.PathLike, config_hash: str) -> Path:
+    return Path(out_dir) / f"{config_hash}.json"
+
+
+def write_artifact(out_dir: str | os.PathLike, artifact: dict) -> Path:
+    """Atomically persist an artifact as ``<config_hash>.json``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = artifact_path(out, artifact["config_hash"])
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(artifact, sort_keys=True, indent=1) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def validate_artifact(artifact: dict, expected_hash: str | None = None) -> dict:
+    """Check schema version and hash integrity; raise ArtifactError."""
+    if not isinstance(artifact, dict):
+        raise ArtifactError(f"artifact is {type(artifact).__name__}, not an object")
+    if artifact.get("schema") != ARTIFACT_SCHEMA_VERSION:
+        raise ArtifactError(
+            f"schema {artifact.get('schema')!r} != {ARTIFACT_SCHEMA_VERSION}"
+        )
+    shape = {
+        "experiment": str, "label": str, "config_hash": str,
+        "tags": dict, "config": dict, "result": dict, "meta": dict,
+    }
+    missing = shape.keys() - artifact.keys()
+    if missing:
+        raise ArtifactError(f"missing keys: {sorted(missing)}")
+    for key, expected_type in shape.items():
+        if not isinstance(artifact[key], expected_type):
+            raise ArtifactError(
+                f"{key!r} is {type(artifact[key]).__name__}, "
+                f"not {expected_type.__name__}"
+            )
+    recomputed = fingerprint_hash(artifact["config"])
+    if recomputed != artifact["config_hash"]:
+        raise ArtifactError(
+            f"config hash mismatch: recorded {artifact['config_hash']}, "
+            f"config hashes to {recomputed} (stale or tampered artifact)"
+        )
+    if expected_hash is not None and artifact["config_hash"] != expected_hash:
+        raise ArtifactError(
+            f"artifact {artifact['config_hash']} filed under {expected_hash}"
+        )
+    return artifact
+
+
+def load_artifact(path: str | os.PathLike, expected_hash: str | None = None) -> dict:
+    """Load + validate one artifact file; ArtifactError when unusable."""
+    path = Path(path)
+    try:
+        artifact = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"{path.name}: unreadable/partial JSON ({exc})") from exc
+    return validate_artifact(artifact, expected_hash=expected_hash)
+
+
+def scan_artifacts(out_dir: str | os.PathLike) -> tuple[dict[str, dict], list[Path]]:
+    """Index a sweep directory: ``(hash -> artifact, corrupt paths)``.
+
+    Only ``<hash>.json`` files are considered (tmp files and foreign
+    files are ignored). Corrupt or schema-mismatched files land in the
+    second element so the orchestrator can re-run — and overwrite —
+    those points.
+    """
+    out = Path(out_dir)
+    completed: dict[str, dict] = {}
+    corrupt: list[Path] = []
+    if not out.is_dir():
+        return completed, corrupt
+    for path in sorted(out.glob("*.json")):
+        expected = path.stem
+        try:
+            completed[expected] = load_artifact(path, expected_hash=expected)
+        except ArtifactError:
+            corrupt.append(path)
+    return completed, corrupt

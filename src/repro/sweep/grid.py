@@ -1,0 +1,120 @@
+"""Declarative sweep grids and content-addressed configs.
+
+A sweep point is a fully specified training run: the experiment it
+belongs to, a human label, the ``TrainingConfig`` constructor kwargs
+(primitives only, so points cross the ``multiprocessing`` pickle
+boundary unchanged) and free-form string tags the aggregation step
+groups by (series, platform, instance...).
+
+Configs are *content addressed*: :func:`config_hash` fingerprints every
+init field of the constructed ``TrainingConfig`` — including defaults —
+so two grids that spell the same run differently collide on the same
+artifact, and a changed default invalidates stale artifacts instead of
+silently reusing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, fields
+
+from repro.core.config import TrainingConfig
+from repro.errors import ConfigurationError
+
+HASH_CHARS = 16  # 64 bits of sha256: ample for any practical grid
+
+
+def config_fingerprint(config: TrainingConfig) -> dict:
+    """All init fields of a config (defaults included), JSON-ready."""
+    return {
+        f.name: getattr(config, f.name)
+        for f in fields(TrainingConfig)
+        if f.init
+    }
+
+
+def _canonical_value(value):
+    """Collapse numerically equal spellings before hashing.
+
+    ``TrainingConfig(max_epochs=40)`` and ``max_epochs=40.0`` compare
+    equal, so they must hash equal too — but ``json.dumps`` renders
+    ``40`` vs ``40.0``. Integral floats are therefore hashed as ints
+    (bools are left alone; they are configuration flags, not numbers).
+    """
+    if isinstance(value, bool) or not isinstance(value, float):
+        return value
+    return int(value) if value.is_integer() else value
+
+
+def fingerprint_hash(fingerprint: dict) -> str:
+    """Stable hex digest of a config fingerprint dict."""
+    canonical = json.dumps(
+        {name: _canonical_value(value) for name, value in fingerprint.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:HASH_CHARS]
+
+
+def config_hash(config: TrainingConfig) -> str:
+    return fingerprint_hash(config_fingerprint(config))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One run of a sweep grid (picklable, primitives only)."""
+
+    experiment: str
+    label: str
+    config_kwargs: dict = field(default_factory=dict)
+    tags: dict = field(default_factory=dict)
+
+    def config(self) -> TrainingConfig:
+        return TrainingConfig(**self.config_kwargs)
+
+    def hash(self) -> str:
+        return config_hash(self.config())
+
+
+def expand_grid(base: dict, axes: dict[str, tuple] | None = None):
+    """Yield config-kwargs dicts for the cross product of ``axes``.
+
+    ``base`` holds the fixed kwargs; ``axes`` maps kwarg name to the
+    values it sweeps over, expanded in declaration order (last axis
+    fastest), mirroring the nested loops the experiment modules used to
+    hand-roll.
+    """
+    axes = axes or {}
+    for name in axes:
+        if name in base:
+            raise ConfigurationError(f"grid axis {name!r} also set in base kwargs")
+    names = list(axes)
+    for values in itertools.product(*(axes[n] for n in names)):
+        yield {**base, **dict(zip(names, values))}
+
+
+def dedupe_with_hashes(
+    points: list[SweepPoint],
+) -> tuple[list[SweepPoint], list[str]]:
+    """Drop config-hash collisions (first wins); return points + hashes.
+
+    The orchestrator runs on this so each point's ``TrainingConfig`` is
+    built and validated exactly once for dedupe *and* resume addressing.
+    """
+    seen: set[str] = set()
+    unique: list[SweepPoint] = []
+    hashes: list[str] = []
+    for point in points:
+        h = point.hash()
+        if h not in seen:
+            seen.add(h)
+            unique.append(point)
+            hashes.append(h)
+    return unique, hashes
+
+
+def dedupe_points(points: list[SweepPoint]) -> list[SweepPoint]:
+    """Drop points whose config hashes collide (first occurrence wins)."""
+    return dedupe_with_hashes(points)[0]

@@ -1,0 +1,177 @@
+"""The sweep loop: fan points over a process pool, persist, resume.
+
+Design constraints:
+
+* **Workers are pure.** :func:`run_point` takes one picklable
+  :class:`SweepPoint`, builds the ``TrainingConfig`` and runs
+  ``train()`` inside the child process, and returns a primitives-only
+  artifact dict. No simulator state crosses the process boundary, so
+  serial and ``--jobs N`` sweeps produce byte-identical artifacts.
+* **The parent owns the disk.** Artifacts are written by the
+  orchestrator as results stream back (atomic tmp+rename), never by
+  pool workers, so a sweep directory sees one writer and an interrupt
+  (Ctrl-C, OOM-killed child, dead CI box) leaves only whole files.
+* **Resume is hash-addressed.** ``resume=True`` scans the sweep
+  directory once and skips every point whose config hash already has a
+  valid artifact; corrupt or partial files are treated as not-run and
+  overwritten.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import __version__ as repro_version
+from repro.core.driver import train
+from repro.errors import ConfigurationError
+from repro.sweep.artifacts import (
+    artifact_from_result,
+    scan_artifacts,
+    write_artifact,
+)
+from repro.sweep.grid import SweepPoint, dedupe_with_hashes
+
+
+@dataclass
+class SweepRun:
+    """Outcome of one orchestrator invocation."""
+
+    artifacts: list[dict] = field(default_factory=list)  # in point order
+    ran: int = 0
+    skipped: int = 0
+    corrupt: list[str] = field(default_factory=list)
+    out_dir: str | None = None
+
+
+def run_point(point: SweepPoint) -> dict:
+    """Execute one sweep point end to end (pool worker entry point)."""
+    t0 = time.perf_counter()
+    result = train(point.config())
+    return artifact_from_result(point, result, wall_seconds=time.perf_counter() - t0)
+
+
+def _pool_context():
+    """Fork when available (cheap, inherits pinned BLAS env), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(
+    points: list[SweepPoint],
+    out_dir: str | os.PathLike | None = None,
+    jobs: int = 1,
+    resume: bool = False,
+    progress=None,
+) -> SweepRun:
+    """Run a grid of sweep points, optionally in parallel and resumable.
+
+    Parameters
+    ----------
+    points:
+        The grid. Duplicate config hashes are collapsed (first wins).
+    out_dir:
+        Where ``<hash>.json`` artifacts go. ``None`` keeps everything
+        in memory (used by the experiment modules' ``run()`` helpers).
+    jobs:
+        Process-pool width. ``1`` runs inline in this process.
+    resume:
+        Skip points that already have a valid artifact in ``out_dir``.
+    progress:
+        Optional callable ``progress(message: str)`` for per-point
+        status lines (the CLI passes one; the library default is quiet).
+    """
+    if resume and out_dir is None:
+        raise ConfigurationError("resume=True requires an artifact directory")
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+
+    say = progress or (lambda message: None)
+    points, hashes = dedupe_with_hashes(list(points))
+
+    completed: dict[str, dict] = {}
+    corrupt: list[Path] = []
+    if resume:
+        in_grid = set(hashes)
+        completed, found_corrupt = scan_artifacts(out_dir)
+        for path in found_corrupt:
+            # Only corrupt files that shadow a point of *this* grid get
+            # re-run (and overwritten); foreign/stale ones are left
+            # alone — e.g. leftovers from an older TrainingConfig whose
+            # hashes no grid produces anymore.
+            if path.stem in in_grid:
+                corrupt.append(path)
+                say(f"corrupt artifact {path.name}: will re-run that point")
+            else:
+                say(f"corrupt artifact {path.name} matches no point in this grid; ignored")
+
+    by_hash: dict[str, dict] = {}
+    skipped = 0
+    pending: list[tuple[int, SweepPoint, str]] = []
+    for index, (point, point_hash) in enumerate(zip(points, hashes)):
+        if point_hash in completed:
+            artifact = completed[point_hash]
+            recorded = artifact["meta"].get("engine_version")
+            if recorded != repro_version:
+                # The config hash can't see code changes; at least make
+                # cross-version mixing visible (delete the artifact or
+                # use a fresh --out to force a clean re-run).
+                say(
+                    f"warning: reusing {point_hash}.json from engine "
+                    f"{recorded or 'unknown'} (running {repro_version})"
+                )
+            # Labels/tags are presentation metadata, deliberately
+            # outside the hash. When a grid renames them, refresh the
+            # stored copy so aggregate() always sees the current schema.
+            current = {
+                "experiment": point.experiment,
+                "label": point.label,
+                "tags": dict(point.tags),
+            }
+            if any(artifact[key] != value for key, value in current.items()):
+                artifact = {**artifact, **current}
+                write_artifact(out_dir, artifact)
+                say(f"refreshed metadata of {point_hash}.json to match this grid")
+            by_hash[point_hash] = artifact
+            skipped += 1
+            say(f"[{index + 1}/{len(points)}] {point.label}: skipped (artifact exists)")
+        else:
+            pending.append((index, point, point_hash))
+
+    def finish(index: int, point: SweepPoint, artifact: dict) -> None:
+        by_hash[artifact["config_hash"]] = artifact
+        if out_dir is not None:
+            write_artifact(out_dir, artifact)
+        say(
+            f"[{index + 1}/{len(points)}] {point.label}: "
+            f"runtime={artifact['result']['duration_s']:.1f}s "
+            f"cost=${artifact['result']['cost_total']:.4f} "
+            f"converged={artifact['result']['converged']} "
+            f"({artifact['meta']['wall_seconds']:.1f}s wall)"
+        )
+
+    if pending:
+        jobs = min(jobs, len(pending))
+        if jobs == 1:
+            for index, point, _ in pending:
+                finish(index, point, run_point(point))
+        else:
+            ctx = _pool_context()
+            order = {point_hash: (i, p) for i, p, point_hash in pending}
+            with ctx.Pool(processes=jobs) as pool:
+                for artifact in pool.imap_unordered(
+                    run_point, [p for _, p, _ in pending]
+                ):
+                    index, point = order[artifact["config_hash"]]
+                    finish(index, point, artifact)
+
+    return SweepRun(
+        artifacts=[by_hash[h] for h in hashes],
+        ran=len(pending),
+        skipped=skipped,
+        corrupt=[str(p) for p in corrupt],
+        out_dir=None if out_dir is None else str(out_dir),
+    )

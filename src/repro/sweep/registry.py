@@ -1,0 +1,130 @@
+"""Named sweep experiments the CLI can run.
+
+Each entry binds a grid declaration (``points``), an artifact
+aggregator (``aggregate``) and a report renderer (``format_report``)
+from one experiment module. ``repro.cli sweep --experiment NAME`` is
+then: expand the grid, fan it over the pool, persist one JSON artifact
+per point, aggregate the artifacts, render the report.
+
+``smoke`` is a seconds-scale grid (tiny data_scale, 2-epoch caps) used
+by the test suite and as a cheap end-to-end probe of the orchestrator
+in CI-like settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    fig8_synchronization,
+    fig9_end_to_end,
+    fig11_scaling,
+    fig12_configurations,
+)
+from repro.experiments.report import format_table
+from repro.sweep.grid import SweepPoint, expand_grid
+
+
+@dataclass(frozen=True)
+class SweepExperiment:
+    name: str
+    description: str
+    points: Callable[..., list[SweepPoint]]  # (max_epochs=None, seed=...) -> grid
+    aggregate: Callable[[list[dict]], object]
+    format_report: Callable[[object], str]
+
+
+def _smoke_points(
+    max_epochs: float | None = None, seed: int = 20210620
+) -> list[SweepPoint]:
+    """A 4-point grid that completes in seconds (heavily down-scaled)."""
+    base = dict(
+        model="lr", dataset="higgs", algorithm="admm", system="lambdaml",
+        data_scale=5000, loss_threshold=0.66,
+        max_epochs=max_epochs or 2.0, seed=seed,
+    )
+    return [
+        SweepPoint(
+            "smoke",
+            f"{kw['channel']},{kw['pattern']},W={kw['workers']}",
+            config_kwargs=kw,
+            tags={"series": "lr/higgs@1/5000", "system": "faas"},
+        )
+        for kw in expand_grid(
+            base,
+            {
+                "channel": ("s3", "memcached"),
+                "pattern": ("allreduce", "scatterreduce"),
+                "workers": (4,),
+            },
+        )
+    ]
+
+
+def _smoke_format_report(artifacts: list[dict]) -> str:
+    rows = [
+        [
+            a["label"],
+            a["result"]["duration_s"],
+            a["result"]["cost_total"],
+            a["result"]["final_loss"],
+            a["result"]["converged"],
+        ]
+        for a in artifacts
+    ]
+    return format_table(
+        "Smoke sweep — LR/Higgs at 1/5000 scale",
+        ["point", "runtime(s)", "cost($)", "loss", "converged"],
+        rows,
+    )
+
+
+EXPERIMENTS: dict[str, SweepExperiment] = {
+    "fig8": SweepExperiment(
+        "fig8",
+        "BSP vs S-ASP on LR/Higgs, LR/RCV1, MobileNet/Cifar10",
+        fig8_synchronization.sweep_points,
+        fig8_synchronization.aggregate,
+        fig8_synchronization.format_report,
+    ),
+    "fig9": SweepExperiment(
+        "fig9",
+        "end-to-end systems comparison on the Table-4 workloads",
+        fig9_end_to_end.sweep_points,
+        fig9_end_to_end.aggregate,
+        fig9_end_to_end.format_report,
+    ),
+    "fig11": SweepExperiment(
+        "fig11",
+        "runtime/cost vs worker count; FaaS grid crosses the paper's "
+        "~300-worker ceiling up to 512",
+        fig11_scaling.sweep_points,
+        fig11_scaling.aggregate,
+        fig11_scaling.format_report,
+    ),
+    "fig12": SweepExperiment(
+        "fig12",
+        "runtime/cost scatter across instances and learning rates",
+        fig12_configurations.sweep_points,
+        fig12_configurations.aggregate,
+        fig12_configurations.format_report,
+    ),
+    "smoke": SweepExperiment(
+        "smoke",
+        "seconds-scale orchestrator probe (down-scaled LR/Higgs)",
+        _smoke_points,
+        lambda artifacts: artifacts,
+        _smoke_format_report,
+    ),
+}
+
+
+def get_experiment(name: str) -> SweepExperiment:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sweep experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None

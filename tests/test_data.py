@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from scipy import sparse
 
 from repro.data.datasets import DATASETS, get_spec
-from repro.data.loader import Shard, make_shards
+from repro.data.loader import make_shards
 from repro.data.partition import partition_indices
 from repro.data.synth import generate
 from repro.errors import ConfigurationError

@@ -110,6 +110,7 @@ class TestFig10:
 
 
 class TestCostSanity:
+    @pytest.mark.slow
     def test_distributed_beats_single_machine(self):
         row = cost_sanity.run_case("lr", "higgs", workers=10, max_epochs=20)
         assert row.faas_speedup > 2.0

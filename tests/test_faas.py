@@ -88,6 +88,7 @@ class TestCheckpoint:
 
 
 class TestLifetimeInTraining:
+    @pytest.mark.slow
     def test_long_job_checkpoints_and_finishes(self):
         """ResNet50 epochs exceed 15 minutes: Figure 5's path triggers."""
         from repro.core.config import TrainingConfig

@@ -36,6 +36,7 @@ class TestLifetimeCheckpointing:
         assert result.checkpoints > 0
         assert result.breakdown.get("checkpoint") > 0
 
+    @pytest.mark.slow
     def test_checkpointing_does_not_change_statistics(self):
         """Lifetime resets cost time but never perturb the math."""
         short = train(self._short_lifetime_config(lifetime_s=120.0))

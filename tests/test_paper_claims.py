@@ -52,6 +52,7 @@ class TestSection42Algorithms:
                            loss_threshold=None))
         assert large.duration_s > small.duration_s
 
+    @pytest.mark.slow
     def test_admm_scales_on_faas(self):
         """Fig 7a: ADMM's speedup at large worker counts is positive.
 
@@ -64,6 +65,7 @@ class TestSection42Algorithms:
                            channel_prestarted=True))
         assert large.duration_s < small.duration_s
 
+    @pytest.mark.slow
     def test_ma_sgd_unstable_on_neural_model(self):
         """'The convergence of MA-SGD is unstable' (non-convex)."""
         ga = train(
@@ -128,6 +130,7 @@ class TestSection52EndToEnd:
                           algorithm="ma_sgd"))
         assert iaas.duration_without_startup_s <= faas.duration_without_startup_s * 1.1
 
+    @pytest.mark.slow
     def test_gpu_dominates_deep_models(self):
         """Fig 12: an IaaS GPU config beats FaaS on time AND cost for MN."""
         faas = train(

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.pricing.catalog import DEFAULT_CATALOG, PriceCatalog
+from repro.pricing.catalog import DEFAULT_CATALOG
 from repro.pricing.meter import CostMeter
 
 

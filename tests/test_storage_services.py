@@ -9,7 +9,7 @@ from repro.errors import ConfigurationError, ItemTooLargeError
 from repro.pricing.meter import CostMeter
 from repro.simulation.commands import Get, Put
 from repro.simulation.engine import Engine
-from repro.storage.base import ObjectStore, StorageProfile
+from repro.storage.base import StorageProfile
 from repro.storage.services import (
     DynamoDBStore,
     MemcachedStore,

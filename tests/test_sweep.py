@@ -1,0 +1,344 @@
+"""The sweep subsystem: grids, artifacts, orchestration, CLI.
+
+The contract under test (ISSUE 2 acceptance criteria):
+
+* configs are content-addressed — hashes cover defaults and survive
+  spelling differences;
+* artifacts are atomic, validated JSON — corrupt/partial/stale files
+  are detected and simply re-run;
+* ``--resume`` re-runs zero completed points;
+* a pooled sweep (``jobs > 1``) produces byte-identical artifacts to a
+  serial one (determinism across the process boundary).
+
+All training here runs the registry's ``smoke`` grid (LR/Higgs at
+1/5000 scale, 2-epoch cap): ~0.4 s per point.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import TrainingConfig
+from repro.errors import ConfigurationError
+from repro.sweep.artifacts import (
+    ArtifactError,
+    artifact_path,
+    load_artifact,
+    result_from_artifact,
+    scan_artifacts,
+    write_artifact,
+)
+from repro.sweep.grid import config_hash, dedupe_points, expand_grid
+from repro.sweep.orchestrator import run_point, run_sweep
+from repro.sweep.registry import get_experiment
+
+SMOKE_POINTS = get_experiment("smoke").points
+
+
+def strip_meta(artifact: dict) -> dict:
+    return {key: value for key, value in artifact.items() if key != "meta"}
+
+
+class TestConfigHash:
+    def test_defaults_do_not_change_the_hash(self):
+        implicit = TrainingConfig(model="lr", dataset="higgs", algorithm="admm")
+        explicit = TrainingConfig(
+            model="lr", dataset="higgs", algorithm="admm",
+            workers=10, channel="s3", pattern="allreduce",  # the defaults, spelled out
+        )
+        assert config_hash(implicit) == config_hash(explicit)
+
+    def test_any_field_change_changes_the_hash(self):
+        base = TrainingConfig(model="lr", dataset="higgs", algorithm="admm")
+        for change in (
+            dict(workers=11), dict(channel="redis"), dict(seed=7),
+            dict(pattern="scatterreduce"), dict(lr=0.2),
+        ):
+            other = TrainingConfig(
+                model="lr", dataset="higgs", algorithm="admm", **change
+            )
+            assert config_hash(other) != config_hash(base), change
+
+    def test_equal_configs_hash_equal_across_numeric_spellings(self):
+        # argparse delivers floats (--max-epochs 40 -> 40.0) while grid
+        # declarations use ints; equal configs must collide on hash or
+        # resume re-runs entire sweeps.
+        as_int = TrainingConfig(
+            model="lr", dataset="higgs", algorithm="admm", max_epochs=40
+        )
+        as_float = TrainingConfig(
+            model="lr", dataset="higgs", algorithm="admm", max_epochs=40.0
+        )
+        assert as_int == as_float
+        assert config_hash(as_int) == config_hash(as_float)
+
+    def test_expand_grid_order_and_base_collision(self):
+        kwargs = list(expand_grid({"a": 1}, {"x": (1, 2), "y": ("p", "q")}))
+        assert kwargs == [
+            {"a": 1, "x": 1, "y": "p"},
+            {"a": 1, "x": 1, "y": "q"},
+            {"a": 1, "x": 2, "y": "p"},
+            {"a": 1, "x": 2, "y": "q"},
+        ]
+        with pytest.raises(ConfigurationError):
+            list(expand_grid({"x": 1}, {"x": (1, 2)}))
+
+    def test_dedupe_collapses_identical_configs(self):
+        points = SMOKE_POINTS()
+        assert len(dedupe_points(points + points)) == len(points)
+
+
+class TestArtifacts:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return run_point(SMOKE_POINTS()[0])
+
+    def test_roundtrip_preserves_result(self, artifact, tmp_path):
+        path = write_artifact(tmp_path, artifact)
+        assert path == artifact_path(tmp_path, artifact["config_hash"])
+        loaded = load_artifact(path, expected_hash=artifact["config_hash"])
+        assert loaded == artifact
+        result = result_from_artifact(loaded)
+        assert result.duration_s == artifact["result"]["duration_s"]
+        assert result.config.workers == artifact["config"]["workers"]
+        assert result.loss_curve()  # history survives the roundtrip
+        assert result.breakdown.get("compute") > 0
+
+    def test_no_tmp_file_left_behind(self, artifact, tmp_path):
+        write_artifact(tmp_path, artifact)
+        assert [p.name for p in tmp_path.iterdir()] == [
+            f"{artifact['config_hash']}.json"
+        ]
+
+    def test_partial_json_is_corrupt(self, artifact, tmp_path):
+        path = write_artifact(tmp_path, artifact)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(ArtifactError, match="partial"):
+            load_artifact(path)
+        completed, corrupt = scan_artifacts(tmp_path)
+        assert completed == {} and corrupt == [path]
+
+    def test_tampered_config_is_corrupt(self, artifact, tmp_path):
+        path = write_artifact(tmp_path, artifact)
+        tampered = json.loads(path.read_text())
+        tampered["config"]["workers"] += 1  # no longer matches config_hash
+        path.write_text(json.dumps(tampered))
+        with pytest.raises(ArtifactError, match="hash mismatch"):
+            load_artifact(path)
+
+    def test_misfiled_artifact_is_corrupt(self, artifact, tmp_path):
+        write_artifact(tmp_path, artifact)
+        misfiled = artifact_path(tmp_path, "0" * 16)
+        artifact_path(tmp_path, artifact["config_hash"]).rename(misfiled)
+        completed, corrupt = scan_artifacts(tmp_path)
+        assert completed == {} and corrupt == [misfiled]
+
+    def test_foreign_schema_is_corrupt(self, artifact, tmp_path):
+        path = write_artifact(tmp_path, dict(artifact, schema=999))
+        with pytest.raises(ArtifactError, match="schema"):
+            load_artifact(path)
+
+    def test_missing_schema_keys_are_corrupt(self, artifact, tmp_path):
+        # The aggregators dereference tags/label/experiment; an artifact
+        # without them must read as corrupt (re-run), not crash later.
+        for key in ("tags", "label", "experiment", "result"):
+            stripped = {k: v for k, v in artifact.items() if k != key}
+            path = write_artifact(tmp_path, stripped)
+            with pytest.raises(ArtifactError, match="missing keys"):
+                load_artifact(path)
+
+    def test_wrongly_typed_values_are_corrupt(self, artifact, tmp_path):
+        # {"meta": null} must read as corrupt (re-run), not crash the
+        # resume path on artifact["meta"].get(...).
+        for key, bad in (("meta", None), ("tags", "faas"), ("result", [1])):
+            path = write_artifact(tmp_path, dict(artifact, **{key: bad}))
+            with pytest.raises(ArtifactError, match=key):
+                load_artifact(path)
+
+    def test_scan_ignores_foreign_files(self, artifact, tmp_path):
+        write_artifact(tmp_path, artifact)
+        (tmp_path / "notes.txt").write_text("not an artifact")
+        (tmp_path / "deadbeef.json.tmp").write_text("{")
+        completed, corrupt = scan_artifacts(tmp_path)
+        assert list(completed) == [artifact["config_hash"]] and corrupt == []
+
+
+class TestOrchestrator:
+    def test_resume_skips_completed_hashes(self, tmp_path):
+        points = SMOKE_POINTS()
+        first = run_sweep(points, out_dir=tmp_path, jobs=1)
+        assert (first.ran, first.skipped) == (len(points), 0)
+
+        second = run_sweep(points, out_dir=tmp_path, jobs=1, resume=True)
+        assert (second.ran, second.skipped) == (0, len(points))
+        assert [a["config_hash"] for a in second.artifacts] == [
+            a["config_hash"] for a in first.artifacts
+        ]
+
+        # Dropping one artifact re-runs exactly that point.
+        victim = first.artifacts[1]["config_hash"]
+        artifact_path(tmp_path, victim).unlink()
+        third = run_sweep(points, out_dir=tmp_path, jobs=1, resume=True)
+        assert (third.ran, third.skipped) == (1, len(points) - 1)
+
+    def test_resume_reruns_corrupt_artifacts(self, tmp_path):
+        points = SMOKE_POINTS()
+        run_sweep(points, out_dir=tmp_path, jobs=1)
+        victim = artifact_path(tmp_path, points[0].hash())
+        victim.write_text('{"schema": 1, "config"')  # interrupted write
+        resumed = run_sweep(points, out_dir=tmp_path, jobs=1, resume=True)
+        assert (resumed.ran, resumed.skipped) == (1, len(points) - 1)
+        assert resumed.corrupt == [str(victim)]
+        load_artifact(victim)  # healed
+
+    def test_resume_warns_on_engine_version_mismatch(self, tmp_path):
+        import repro
+
+        points = SMOKE_POINTS()[:1]
+        run_sweep(points, out_dir=tmp_path, jobs=1)
+        path = artifact_path(tmp_path, points[0].hash())
+        artifact = json.loads(path.read_text())
+        assert artifact["meta"]["engine_version"] == repro.__version__
+        artifact["meta"]["engine_version"] = "0.0.1"  # meta is unhashed
+        path.write_text(json.dumps(artifact, sort_keys=True, indent=1) + "\n")
+
+        messages = []
+        resumed = run_sweep(
+            points, out_dir=tmp_path, jobs=1, resume=True, progress=messages.append
+        )
+        assert resumed.skipped == 1  # still reused — but loudly
+        assert any(
+            "engine 0.0.1" in m and repro.__version__ in m for m in messages
+        ), messages
+
+    def test_resume_refreshes_renamed_tags(self, tmp_path):
+        import dataclasses
+
+        points = SMOKE_POINTS()[:1]
+        run_sweep(points, out_dir=tmp_path, jobs=1)
+        # The grid evolves its tag schema; the config (hence hash) is
+        # unchanged, so resume must reuse the result under the NEW tags.
+        renamed = [
+            dataclasses.replace(p, tags={"workload": p.tags["series"]})
+            for p in points
+        ]
+        resumed = run_sweep(renamed, out_dir=tmp_path, jobs=1, resume=True)
+        assert (resumed.ran, resumed.skipped) == (0, 1)
+        assert resumed.artifacts[0]["tags"] == {"workload": "lr/higgs@1/5000"}
+        # ...and the refresh is persisted for the next resume.
+        on_disk = load_artifact(artifact_path(tmp_path, points[0].hash()))
+        assert on_disk["tags"] == {"workload": "lr/higgs@1/5000"}
+
+    def test_resume_ignores_corrupt_files_outside_the_grid(self, tmp_path):
+        points = SMOKE_POINTS()
+        run_sweep(points, out_dir=tmp_path, jobs=1)
+        # A stale corrupt leftover whose hash no current point produces:
+        foreign = artifact_path(tmp_path, "f" * 16)
+        foreign.write_text("{not json")
+        resumed = run_sweep(points, out_dir=tmp_path, jobs=1, resume=True)
+        # Nothing re-runs and the summary doesn't claim otherwise...
+        assert (resumed.ran, resumed.skipped, resumed.corrupt) == (0, len(points), [])
+        # ...and the foreign file is left untouched for the operator.
+        assert foreign.read_text() == "{not json"
+
+    def test_pool_matches_serial_byte_for_byte(self, tmp_path):
+        points = SMOKE_POINTS()
+        serial_dir, pool_dir = tmp_path / "serial", tmp_path / "pool"
+        serial = run_sweep(points, out_dir=serial_dir, jobs=1)
+        pooled = run_sweep(points, out_dir=pool_dir, jobs=4)
+        assert serial.ran == pooled.ran == len(points)
+        names = sorted(p.name for p in serial_dir.iterdir())
+        assert names == sorted(p.name for p in pool_dir.iterdir())
+        for name in names:
+            a = json.loads((serial_dir / name).read_text())
+            b = json.loads((pool_dir / name).read_text())
+            assert strip_meta(a) == strip_meta(b), name
+        # artifacts come back in point order regardless of pool scheduling
+        assert [a["label"] for a in pooled.artifacts] == [p.label for p in points]
+
+    def test_resume_requires_out_dir(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(SMOKE_POINTS(), resume=True)
+
+    def test_in_memory_sweep_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run = run_sweep(SMOKE_POINTS()[:1])
+        assert run.out_dir is None and run.ran == 1
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSweepCli:
+    def test_sweep_then_resume(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["sweep", "--experiment", "smoke", "--jobs", "2",
+                     "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "Smoke sweep" in stdout
+        assert "4 point(s) run, 0 skipped" in stdout
+        assert len(list(out.glob("*.json"))) == 4
+
+        assert main(["sweep", "--experiment", "smoke", "--jobs", "2",
+                     "--out", str(out), "--resume", "--no-report"]) == 0
+        stdout = capsys.readouterr().out
+        assert "0 point(s) run, 4 skipped" in stdout
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--experiment", "fig99"])
+
+    def test_nonpositive_max_epochs_rejected(self):
+        # `max_epochs or default` grids would silently swallow 0.
+        for bad in ("0", "-3"):
+            with pytest.raises(SystemExit):
+                main(["sweep", "--experiment", "smoke", "--max-epochs", bad])
+
+    def test_registry_grids_are_well_formed(self):
+        for name in ("fig8", "fig9", "fig11", "fig12", "smoke"):
+            points = get_experiment(name).points(max_epochs=1.0)
+            assert points, name
+            for point in points:
+                assert point.experiment == name
+                assert isinstance(point.config(), TrainingConfig)
+        # the headline grid: fig11 crosses the paper's ~300-worker ceiling
+        fig11_faas = [
+            p.config_kwargs["workers"]
+            for p in get_experiment("fig11").points()
+            if p.tags == {"series": "lr/higgs", "system": "faas"}
+        ]
+        assert max(fig11_faas) >= 512
+
+    def test_fig9_panel_honours_explicit_worker_count(self):
+        # run_panel(workers=50) must scale the panel UP past the
+        # Table-4 default (10), not silently cap at it.
+        from repro.experiments.fig9_end_to_end import panel_points
+
+        points = panel_points("lr", "higgs", 50, max_epochs=1.0)
+        assert points and all(
+            p.config_kwargs["workers"] == 50 for p in points
+        )
+        assert all(p.tags["panel"] == "lr/higgs,W=50" for p in points)
+
+    def test_grid_hashes_are_unique(self):
+        for name in ("fig8", "fig9", "fig11", "fig12", "smoke"):
+            points = get_experiment(name).points()
+            hashes = [p.hash() for p in points]
+            assert len(set(hashes)) == len(hashes), name
+
+
+def test_smoke_sweep_is_deterministic_across_invocations(tmp_path):
+    """Two fresh sweeps of the same grid agree exactly (no RNG leaks)."""
+    a = run_sweep(SMOKE_POINTS(), out_dir=tmp_path / "a", jobs=1)
+    b = run_sweep(SMOKE_POINTS(), out_dir=tmp_path / "b", jobs=1)
+    for x, y in zip(a.artifacts, b.artifacts):
+        assert strip_meta(x) == strip_meta(y)
+
+
+def test_artifact_files_are_sorted_json(tmp_path):
+    """Artifacts are sort_keys'd so diffs/dedup stay byte-stable."""
+    run_sweep(SMOKE_POINTS()[:1], out_dir=tmp_path, jobs=1)
+    path = next(iter(tmp_path.glob("*.json")))
+    text = path.read_text()
+    assert text == json.dumps(json.loads(text), sort_keys=True, indent=1) + "\n"

@@ -14,6 +14,10 @@ from repro.core.config import TrainingConfig
 from repro.core.driver import train
 from repro.experiments.workloads import WORKLOADS
 
+# Full-substrate convergence runs are the suite's long tail (the
+# Criteo case alone is ~80 s); CI's fast lane skips them.
+pytestmark = pytest.mark.slow
+
 # (workload key, scaled workers, epoch cap) — chosen so each case runs
 # in seconds while leaving headroom above the expected convergence point.
 CASES = [
