@@ -1,0 +1,153 @@
+"""Exact vs replay sweep timing on a fig11-style systems slice.
+
+The slice fixes the fig11 LR/Higgs workload (ADMM, Table-4
+hyper-parameters) and fans the *systems* axes — channel x pattern —
+over two worker counts. Workers are a statistical axis, so the grid
+has exactly two unique statistical fingerprints; a ``substrate="auto"``
+sweep therefore pays for two exact numpy trainings and replays the
+other ten points from their traces, while ``substrate="exact"`` trains
+all twelve.
+
+Verifies that both sweeps produce byte-identical artifacts (meta
+aside), then updates the ``substrate`` section of ``BENCH_sweep.json``
+with the measured per-point latency drop::
+
+    PYTHONPATH=src python benchmarks/bench_substrate_replay.py [--dry]
+
+``--dry`` prints the record without touching BENCH_sweep.json.
+"""
+
+from __future__ import annotations
+
+import os
+
+# Pin BLAS to one thread *before* numpy loads (same rationale as
+# repro.cli): the bench compares a freshly recorded trace against an
+# independently recomputed exact sweep, so exact runs must be
+# bit-deterministic across invocations.
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.workloads import get_workload
+from repro.sweep.grid import SweepPoint, expand_grid
+from repro.sweep.orchestrator import run_sweep
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+CHANNELS = ("s3", "redis", "memcached")
+PATTERNS = ("allreduce", "scatterreduce")
+WORKERS = (10, 30)
+
+
+def slice_points() -> list[SweepPoint]:
+    """fig11's LR/Higgs FaaS workload x a channel/pattern systems grid."""
+    workload = get_workload("lr", "higgs")
+    base = dict(
+        model="lr", dataset="higgs", algorithm="admm", system="lambdaml",
+        batch_size=workload.batch_size, lr=workload.lr,
+        loss_threshold=workload.threshold, max_epochs=workload.max_epochs,
+        seed=20210620,
+    )
+    return [
+        SweepPoint(
+            "bench-substrate",
+            f"{kw['channel']},{kw['pattern']},W={kw['workers']}",
+            config_kwargs=kw,
+            tags={"series": "lr/higgs", "system": "faas"},
+        )
+        for kw in expand_grid(
+            base,
+            {"workers": WORKERS, "channel": CHANNELS, "pattern": PATTERNS},
+        )
+    ]
+
+
+def strip_meta(artifact: dict) -> dict:
+    return {key: value for key, value in artifact.items() if key != "meta"}
+
+
+def measure() -> dict:
+    points = slice_points()
+    with tempfile.TemporaryDirectory() as tmp:
+        t0 = time.perf_counter()
+        exact = run_sweep(points, out_dir=Path(tmp) / "exact", substrate="exact")
+        exact_wall = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        auto = run_sweep(points, out_dir=Path(tmp) / "auto", substrate="auto")
+        auto_wall = time.perf_counter() - t0
+
+    mismatched = [
+        a["label"]
+        for a, b in zip(exact.artifacts, auto.artifacts)
+        if strip_meta(a) != strip_meta(b)
+    ]
+    if mismatched:
+        raise SystemExit(f"replay artifacts diverged from exact: {mismatched}")
+
+    exact_per_point = [a["meta"]["wall_seconds"] for a in exact.artifacts]
+    replayed_per_point = [
+        a["meta"]["wall_seconds"]
+        for a in auto.artifacts
+        if a["meta"]["substrate"] == "replay"
+    ]
+    exact_trainings = auto.recorded + auto.exact_runs
+    return {
+        "note": (
+            "fig11 LR/Higgs workload (ADMM, Table-4 hyper-parameters) x a "
+            "channel/pattern systems slice. Workers are a statistical axis, "
+            "channel/pattern are not: substrate=auto trains numpy once per "
+            "unique statistical fingerprint and replays the rest from "
+            "traces, bit-identical artifacts (verified on this run)."
+        ),
+        "command": (
+            "PYTHONPATH=src python benchmarks/bench_substrate_replay.py"
+        ),
+        "grid": {
+            "workers": list(WORKERS),
+            "channels": list(CHANNELS),
+            "patterns": list(PATTERNS),
+        },
+        "points": len(points),
+        "unique_stat_fingerprints": auto.stat_groups,
+        "exact_trainings": exact_trainings,
+        "exact_training_reduction": round(len(points) / exact_trainings, 2),
+        "replayed_points": auto.replayed,
+        "exact_sweep_wall_seconds": round(exact_wall, 3),
+        "auto_sweep_wall_seconds": round(auto_wall, 3),
+        "sweep_speedup": round(exact_wall / auto_wall, 2),
+        "exact_point_wall_seconds_mean": round(
+            sum(exact_per_point) / len(exact_per_point), 3
+        ),
+        "replay_point_wall_seconds_mean": round(
+            sum(replayed_per_point) / len(replayed_per_point), 4
+        ),
+        "artifacts_bit_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dry", action="store_true",
+                        help="print the record without updating BENCH_sweep.json")
+    args = parser.parse_args(argv)
+
+    record = measure()
+    print(json.dumps(record, indent=1))
+    if not args.dry:
+        baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+        baseline["substrate"] = record
+        BASELINE.write_text(json.dumps(baseline, indent=1) + "\n")
+        print(f"updated {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,14 @@ applies two checks against the record committed in ``BENCH_engine.json``:
    generous because the baseline was measured on a dev machine and CI
    runner cores vary; each point takes the best of ``--repeats`` runs.
 
+It also sanity-checks the *shape* of ``BENCH_sweep.json`` (the sweep
+acceptance record): both the original per-point schema and the
+``substrate`` section added with the record/replay sweeps must parse
+and carry their required keys, so a malformed benchmark commit fails
+CI instead of silently rotting. No sweep is re-run here — full-scale
+sweep points cost minutes each; regenerate with
+``benchmarks/bench_substrate_replay.py`` when the numbers change.
+
 Run locally::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -35,6 +43,59 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_engine_microbench import run_round  # noqa: E402
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+DEFAULT_SWEEP_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+# Required keys per section of BENCH_sweep.json. The file grows fields
+# freely (unknown keys are tolerated by design — that is the point of
+# this check being shape-based); these are the ones reports and future
+# regressions dereference.
+_SWEEP_POINT_KEYS = {"workers", "config_hash", "simulated_runtime_s",
+                     "cost_dollars", "converged", "host_wall_seconds"}
+_SWEEP_SUBSTRATE_KEYS = {"points", "unique_stat_fingerprints", "exact_trainings",
+                         "exact_training_reduction", "replayed_points",
+                         "exact_point_wall_seconds_mean",
+                         "replay_point_wall_seconds_mean",
+                         "artifacts_bit_identical"}
+
+
+def check_sweep_baseline(path: Path) -> list[str]:
+    """Shape-validate BENCH_sweep.json; returns problem descriptions."""
+    if not path.exists():
+        return []  # nothing recorded yet: nothing to validate
+    try:
+        baseline = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable JSON ({exc})"]
+    problems = []
+    points = baseline.get("points")
+    if not isinstance(points, dict) or not points:
+        problems.append(f"{path.name}: 'points' must be a non-empty object")
+    else:
+        for key, record in points.items():
+            if not isinstance(record, dict):
+                problems.append(f"{path.name}: point {key} is not an object")
+                continue
+            missing = _SWEEP_POINT_KEYS - record.keys()
+            if missing:
+                problems.append(
+                    f"{path.name}: point {key} missing {sorted(missing)}"
+                )
+    substrate = baseline.get("substrate")
+    if substrate is not None:  # optional until the replay bench has run
+        if not isinstance(substrate, dict):
+            problems.append(f"{path.name}: 'substrate' must be an object")
+            return problems
+        missing = _SWEEP_SUBSTRATE_KEYS - substrate.keys()
+        if missing:
+            problems.append(
+                f"{path.name}: 'substrate' section missing {sorted(missing)}"
+            )
+        elif not substrate["artifacts_bit_identical"]:
+            problems.append(
+                f"{path.name}: 'substrate' records non-identical replay "
+                "artifacts — the recorded run was invalid"
+            )
+    return problems
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,6 +110,9 @@ def main(argv: list[str] | None = None) -> int:
                         "the recorded ratio (machine-independent)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="runs per point; the best (min) is compared")
+    parser.add_argument("--sweep-baseline", type=Path, default=DEFAULT_SWEEP_BASELINE,
+                        help="sweep benchmark record to shape-validate "
+                        "(BENCH_sweep.json; skipped when absent)")
     args = parser.parse_args(argv)
 
     try:
@@ -57,6 +121,14 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, json.JSONDecodeError, KeyError) as exc:
         print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
         return 2
+
+    sweep_problems = check_sweep_baseline(args.sweep_baseline)
+    if sweep_problems:
+        print("sweep benchmark record is malformed:", file=sys.stderr)
+        for line in sweep_problems:
+            print(f"  {line}", file=sys.stderr)
+        return 2
+    print(f"sweep baseline {args.sweep_baseline.name}: shape ok")
 
     failures = []
     measured: dict[int, float] = {}

@@ -152,11 +152,60 @@ def _add_sweep_parser(subparsers) -> None:
                    help="artifact directory (default: sweeps/<experiment>)")
     p.add_argument("--resume", action="store_true",
                    help="skip points whose artifact already exists in --out")
+    p.add_argument("--substrate", default="exact",
+                   choices=["exact", "replay", "auto"],
+                   help="statistical backend: 'exact' trains every point with "
+                   "real numpy; 'auto' records one trace per unique statistical "
+                   "fingerprint and replays it across the systems grid "
+                   "(bit-identical artifacts, exact fallback for timing-coupled "
+                   "ASP/hybrid points); 'replay' is auto that refuses "
+                   "timing-coupled points")
+    p.add_argument("--traces", default=None,
+                   help="convergence trace directory (default: <out>/traces)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print grid size, unique statistical fingerprints and "
+                   "existing artifact/trace counts, then exit without running")
     p.add_argument("--max-epochs", type=_positive_float, default=None,
                    help="override every point's epoch cap (scaled-down sweeps)")
     p.add_argument("--seed", type=int, default=20210620)
     p.add_argument("--no-report", action="store_true",
                    help="skip the aggregated report (summary line only)")
+
+
+def _dry_run_sweep(args: argparse.Namespace, experiment, points, out_dir) -> int:
+    from repro.sweep.orchestrator import plan_sweep
+
+    # The plan mirrors the run flags exactly: without --resume, on-disk
+    # artifacts/traces are reported but NOT counted as done, because the
+    # real run would re-run everything too.
+    plan = plan_sweep(
+        points, out_dir=out_dir, traces_dir=args.traces, resume=args.resume
+    )
+    print(f"sweep {experiment.name} (dry run; nothing was executed)")
+    print(f"  grid points (deduped):        {plan['points']}")
+    print(f"  unique stat fingerprints:     {plan['unique_stat_fingerprints']}"
+          + (f" ({plan['timing_coupled_points']} timing-coupled point(s): "
+             "exact-only)" if plan['timing_coupled_points'] else ""))
+    print(f"  artifacts in {plan['out_dir']}: {plan['artifacts_present']}"
+          + (f" (+{plan['artifacts_corrupt']} corrupt)"
+             if plan['artifacts_corrupt'] else ""))
+    print(f"  traces in {plan['traces_dir']}: {plan['traces_present']}"
+          + (f" (+{plan['traces_corrupt']} corrupt)"
+             if plan['traces_corrupt'] else ""))
+    if not args.resume and (plan["artifacts_present"] or plan["traces_present"]):
+        print("  note: existing artifacts/traces are reused only with --resume; "
+              "without it this invocation re-runs every point")
+    if args.substrate == "exact":
+        print(f"  substrate=exact would train:  {plan['pending_points']} point(s)")
+    elif args.substrate == "replay" and plan["pending_timing_coupled"]:
+        print(f"  substrate=replay would FAIL: "
+              f"{plan['pending_timing_coupled']} pending timing-coupled "
+              "point(s) cannot be replayed (use --substrate auto or exact)")
+    else:
+        print(f"  substrate={args.substrate} would train: "
+              f"{plan['exact_trainings_needed']} exact point(s) and replay "
+              f"{plan['replays_needed']}")
+    return 0
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
@@ -178,21 +227,32 @@ def _run_sweep(args: argparse.Namespace) -> int:
     experiment = get_experiment(args.experiment)
     points = experiment.points(max_epochs=args.max_epochs, seed=args.seed)
     out_dir = args.out or os.path.join("sweeps", experiment.name)
+    if args.dry_run:
+        return _dry_run_sweep(args, experiment, points, out_dir)
     run = run_sweep(
         points,
         out_dir=out_dir,
         jobs=args.jobs,
         resume=args.resume,
+        substrate=args.substrate,
+        traces_dir=args.traces,
         progress=lambda message: print(message, file=sys.stderr, flush=True),
     )
     if not args.no_report:
         print(experiment.format_report(experiment.aggregate(run.artifacts)))
         print()
+    detail = ""
+    if run.substrate != "exact":
+        detail = (
+            f" [{run.substrate}: {run.stat_groups} unique stat fingerprint(s), "
+            f"{run.recorded} recorded, {run.replayed} replayed, "
+            f"{run.exact_runs} exact]"
+        )
     print(
         f"sweep {experiment.name}: {run.ran} point(s) run, "
         f"{run.skipped} skipped via resume, "
         f"{len(run.corrupt)} corrupt artifact(s) re-run; "
-        f"artifacts in {run.out_dir}"
+        f"artifacts in {run.out_dir}" + detail
     )
     return 0
 

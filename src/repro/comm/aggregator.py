@@ -8,7 +8,19 @@ from repro.errors import CommunicationError
 
 
 def reduce_vectors(vectors: list[np.ndarray], reduce: str) -> np.ndarray:
-    """Element-wise mean or sum of equal-length vectors."""
+    """Element-wise mean or sum of equal-length vectors.
+
+    The fold is an explicit sequential accumulation in list order, not
+    ``np.stack(...).mean(axis=0)``: numpy's reductions pick a summation
+    strategy (sequential vs pairwise/unrolled) from the *array shape*,
+    so the same contributions reduced as ``(w, 1)`` chunks vs one
+    ``(w, d)`` block can differ in the last ulp once ``w > 8``. Every
+    aggregation path (AllReduce leader, ScatterReduce slice reducers,
+    the IaaS collective) folds through here, which makes the merged
+    floats a function of the contribution *order alone* — independent
+    of how a pattern chunks the vector. The replay substrate's
+    trace-sharing across patterns/platforms relies on exactly that.
+    """
     if not vectors:
         raise CommunicationError("nothing to reduce")
     first = vectors[0]
@@ -17,11 +29,14 @@ def reduce_vectors(vectors: list[np.ndarray], reduce: str) -> np.ndarray:
             raise CommunicationError(
                 f"shape mismatch in reduction: {v.shape} vs {first.shape}"
             )
-    stacked = np.stack([np.asarray(v, dtype=np.float64) for v in vectors])
+    acc = np.array(vectors[0], dtype=np.float64, copy=True)
+    for v in vectors[1:]:
+        acc += np.asarray(v, dtype=np.float64)
     if reduce == "mean":
-        return stacked.mean(axis=0)
+        acc /= len(vectors)
+        return acc
     if reduce == "sum":
-        return stacked.sum(axis=0)
+        return acc
     raise CommunicationError(f"unknown reduction {reduce!r}; expected mean|sum")
 
 

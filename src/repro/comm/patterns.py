@@ -154,12 +154,21 @@ def scatter_reduce(
         key = f"{base}for_{ranks[peer]}/from_{me}"
         yield Put(store, key, SizedPayload(chunks[peer], chunk_bytes))
 
-    # Reduce my slice: wait for w-1 foreign contributions.
+    # Reduce my slice: wait for w-1 foreign contributions. Contributions
+    # are reduced in *rank order* (own chunk slotted at position `rank`,
+    # not first): float reduction is order-sensitive at the last ulp,
+    # and every aggregation path — AllReduce's leader, this reducer,
+    # the IaaS collective (arrivals sorted by process name) — must fold
+    # in the same canonical order for a BSP trajectory to be
+    # bit-identical across patterns and platforms. The replay substrate
+    # relies on exactly that invariant to share one recorded trace per
+    # statistical fingerprint across the whole systems grid.
     my_prefix = f"{base}for_{me}/"
     yield WaitKeyCount(store, my_prefix, workers - 1, poll_interval, category="merge")
-    contributions = [chunks[rank]]
+    contributions = []
     for peer in range(workers):
         if peer == rank:
+            contributions.append(chunks[rank])
             continue
         obj = yield Get(store, f"{my_prefix}from_{ranks[peer]}")
         contributions.append(unwrap(obj))

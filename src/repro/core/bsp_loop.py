@@ -49,7 +49,7 @@ def bsp_rounds(
 ):
     """Generator running BSP rounds to convergence; returns WorkerOutcome."""
     cfg = ctx.config
-    algo = ctx.algorithms[rank]
+    algo = ctx.stats(rank)  # substrate view: exact, recording, or replay
 
     # Baseline evaluation (loss at initialisation).
     yield Compute(ctx.eval_seconds(rank), "compute")

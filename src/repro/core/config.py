@@ -10,12 +10,13 @@ HybridPS).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.config import DEFAULT_SEED
 from repro.data.datasets import get_spec
 from repro.errors import ConfigurationError
 from repro.models.zoo import get_model_info
+from repro.utils.hashing import fingerprint_hash
 
 SYSTEMS = ("lambdaml", "pytorch", "angel", "hybridps")
 PLATFORM_OF_SYSTEM = {
@@ -31,6 +32,56 @@ PLATFORM_OF_SYSTEM = {
 ANGEL_STARTUP_EXTRA_S = 325.0
 ANGEL_LOAD_FACTOR = 3.9
 ANGEL_COMPUTE_FACTOR = 1.56
+
+# The convergence-relevant subset of the config: every field that can
+# change a BSP loss trajectory, and nothing that cannot. Two configs
+# sharing a statistical fingerprint run *bit-identical* statistical
+# decisions — same per-round payload sizes, same per-epoch losses, same
+# stop round — no matter how their systems axes (channel, pattern,
+# instance, prices, poll interval, Lambda sizing...) differ. The replay
+# substrate leans on this to record convergence once per fingerprint
+# and re-emit it across a whole systems grid. Field by field:
+#
+#   model, dataset        the objective and the data distribution
+#   algorithm             GA-SGD / MA-SGD / ADMM / EM update rules
+#   workers               shard count and reduction width
+#   batch_size, batch_scope   the logical minibatch (global_batch)
+#   min_local_batch       statistical floor of the physical batch
+#   lr, l2, k             step size / regulariser / cluster count
+#   admm_rho, admm_scans  ADMM penalty and scans-per-round
+#   ma_sync_epochs        MA-SGD local epochs between averages
+#   loss_threshold, max_epochs   the stopping rule
+#   partition_mode, data_scale, seed   what data each worker holds and
+#                         every RNG draw (init, shuffles, sampling)
+#   protocol              BSP vs ASP round structure
+#
+# Deliberately absent: system, channel, cache_node, channel_prestarted,
+# pattern, poll_interval_s, instance, lambda_memory_gb,
+# lambda_lifetime_s, ps_instance, rpc, straggler_jitter — all of which
+# move simulated clocks and dollars but not a single merged float
+# (aggregation folds contributions in canonical rank order on every
+# pattern and platform; see repro.comm.patterns).
+STAT_FIELDS = (
+    "model",
+    "dataset",
+    "algorithm",
+    "workers",
+    "batch_size",
+    "batch_scope",
+    "min_local_batch",
+    "lr",
+    "l2",
+    "k",
+    "admm_rho",
+    "admm_scans",
+    "ma_sync_epochs",
+    "loss_threshold",
+    "max_epochs",
+    "partition_mode",
+    "data_scale",
+    "seed",
+    "protocol",
+)
 
 
 @dataclass
@@ -128,6 +179,34 @@ class TrainingConfig:
         if self.protocol == "asp" and info.kind == "kmeans":
             raise ConfigurationError("asynchronous training is defined for SGD workloads")
 
+    # -- statistical identity ---------------------------------------------
+    @property
+    def timing_coupled(self) -> bool:
+        """Does simulated *timing* feed back into the trajectory?
+
+        ASP workers read-modify-write a shared model with no barrier,
+        and hybrid-PS workers interleave gradient pushes under a lock —
+        in both, the event order (hence every systems knob) shapes the
+        floats. BSP's lockstep rounds are the only timing-decoupled
+        regime, so only BSP traces can be replayed across systems axes.
+        """
+        return self.protocol == "asp" or self.platform == "hybrid"
+
+    def stat_fingerprint(self) -> dict:
+        """The convergence-relevant fields (see :data:`STAT_FIELDS`).
+
+        For timing-coupled configs (ASP, hybrid PS) the fingerprint
+        widens to *every* init field: their trajectory depends on the
+        systems axes, so no two distinct configs may share one.
+        """
+        if self.timing_coupled:
+            return config_fingerprint(self)
+        return {name: getattr(self, name) for name in STAT_FIELDS}
+
+    def stat_hash(self) -> str:
+        """Content address of :meth:`stat_fingerprint` (trace file name)."""
+        return fingerprint_hash(self.stat_fingerprint())
+
     # -- convenience ------------------------------------------------------
     @property
     def global_batch(self) -> int:
@@ -146,3 +225,12 @@ class TrainingConfig:
             f"algo={self.algorithm} w={self.workers} "
             f"channel={self.channel} pattern={self.pattern} protocol={self.protocol}"
         )
+
+
+def config_fingerprint(config: TrainingConfig) -> dict:
+    """All init fields of a config (defaults included), JSON-ready."""
+    return {
+        f.name: getattr(config, f.name)
+        for f in fields(TrainingConfig)
+        if f.init
+    }

@@ -1,11 +1,16 @@
 """Job context: shared state wiring a training run together.
 
 Built once per run by the driver, the context owns the engine, the cost
-meter, the dataset shards, the per-worker algorithm instances, the
-communication channel and all derived timing constants. Executor
-generators receive the context plus their rank and interact with the
-simulated world exclusively through `yield`ed commands and context
-helpers.
+meter, the communication channel and all derived timing constants —
+the *systems* half of a run. The *statistical* half (dataset shards,
+per-worker algorithm state, losses) lives behind the pluggable
+substrate (:mod:`repro.substrate`): executors reach it exclusively via
+:meth:`JobContext.stats`, so an exact run, a recording run and a
+replayed run drive identical command streams through the engine.
+
+Executor generators receive the context plus their rank and interact
+with the simulated world exclusively through `yield`ed commands and
+context helpers.
 """
 
 from __future__ import annotations
@@ -24,8 +29,7 @@ from repro.core.config import (
 from repro.core.results import LossPoint
 from repro.comm.patterns import allreduce, scatter_reduce
 from repro.data.datasets import DatasetSpec, get_spec
-from repro.data.loader import Shard, make_shards
-from repro.data.synth import generate
+from repro.data.loader import Shard
 from repro.errors import ConfigurationError, OutOfMemoryError
 from repro.faas.limits import LambdaLimits, lambda_speed_factor
 from repro.faas.runtime import FunctionLifetime, faas_startup_seconds
@@ -34,10 +38,11 @@ from repro.iaas.mpi import MPICommunicator
 from repro.iaas.ps import ParameterServer, make_parameter_server
 from repro.iaas.vm import get_instance
 from repro.models.zoo import ModelInfo, get_model_info
-from repro.optim.base import DistributedAlgorithm, make_algorithm
+from repro.optim.base import DistributedAlgorithm
 from repro.pricing.meter import CostMeter
 from repro.simulation.engine import Engine
 from repro.storage.services import Channel, S3Store, make_channel
+from repro.substrate import make_substrate
 from repro.utils.serialization import SizedPayload
 
 
@@ -55,7 +60,7 @@ class WorkerOutcome:
 class JobContext:
     """Everything a worker generator needs, keyed by rank."""
 
-    def __init__(self, config: TrainingConfig) -> None:
+    def __init__(self, config: TrainingConfig, substrate=None) -> None:
         self.config = config
         self.spec: DatasetSpec = get_spec(config.dataset)
         self.info: ModelInfo = get_model_info(
@@ -63,38 +68,16 @@ class JobContext:
         )
         self.engine = Engine()
         self.meter = CostMeter()
+        self.scale = config.data_scale or self.spec.default_scale
 
-        scale = config.data_scale or self.spec.default_scale
-        self.scale = scale
-        split = generate(config.dataset, scale=scale, seed=config.seed)
-        self.shards: list[Shard] = make_shards(
-            split,
-            config.workers,
-            global_batch=config.physical_batch(scale),
-            partition_mode=config.partition_mode,
-            seed=config.seed,
-            min_local_batch=config.min_local_batch,
-        )
-        # k-means needs one globally sampled initialisation broadcast
-        # to every worker (the starter's job in LambdaML).
-        kmeans_init = None
-        if self.info.kind == "kmeans":
-            probe_model = self.info.factory()
-            kmeans_init = probe_model.init_centroids(split.X_train, rng=config.seed)
-        self.algorithms: list[DistributedAlgorithm] = [
-            make_algorithm(
-                config.algorithm,
-                self.info.factory(),
-                shard,
-                lr=config.lr,
-                seed=config.seed,  # same init on every worker
-                admm_rho=config.admm_rho,
-                admm_scans=config.admm_scans,
-                ma_sync_epochs=config.ma_sync_epochs,
-                kmeans_init=kmeans_init,
-            )
-            for shard in self.shards
-        ]
+        # The statistical half of the run. Exact/recording substrates
+        # synthesize the dataset and build one algorithm per rank;
+        # replay builds nothing (`shards`/`algorithms` stay empty) and
+        # serves every statistical question from its trace.
+        self.substrate = make_substrate(substrate)
+        self.substrate.attach(self)
+        self.shards: list[Shard] = self.substrate.shards
+        self.algorithms: list[DistributedAlgorithm] = self.substrate.algorithms
 
         # Training data is staged in S3 for every platform (paper §5.1).
         self.data_store = S3Store(meter=self.meter)
@@ -142,7 +125,7 @@ class JobContext:
 
     def setup_hybrid(self) -> None:
         self.startup_s = faas_startup_seconds(self.config.workers)
-        init = self.algorithms[0].params.astype(np.float64).copy()
+        init = self.stats(0).params.astype(np.float64).copy()
         # The PS applies each worker's gradient; dividing the rate by w
         # keeps the effective step equivalent to one averaged update.
         self.ps = make_parameter_server(
@@ -171,6 +154,19 @@ class JobContext:
                 f"{cfg.workers} workers needs ~{needed / 1024**3:.2f} GiB per function, "
                 f"exceeding the {self.limits.memory_gb:.0f} GB Lambda limit"
             )
+
+    # ------------------------------------------------------------------
+    # Statistical substrate
+    # ------------------------------------------------------------------
+    def stats(self, rank: int):
+        """Worker `rank`'s statistical view (the substrate seam).
+
+        Executors must route every statistical call — payloads, loss
+        evaluations, round structure — through this, never through
+        ``self.algorithms`` directly, so recorded and replayed runs
+        stay interchangeable with exact ones.
+        """
+        return self.substrate.stats(rank)
 
     # ------------------------------------------------------------------
     # Timing helpers
@@ -207,12 +203,12 @@ class JobContext:
         return raw / self.worker_speed(rank)
 
     def round_seconds(self, rank: int) -> float:
-        instances, iterations = self.algorithms[rank].round_work()
+        instances, iterations = self.stats(rank).round_work()
         # Compute profiles are calibrated on *logical* data volumes.
         return self._work_seconds(rank, instances * self.scale, iterations)
 
     def eval_seconds(self, rank: int) -> float:
-        instances, iterations = self.algorithms[rank].eval_work()
+        instances, iterations = self.stats(rank).eval_work()
         profile = self.info.compute
         raw = (
             instances * self.scale * profile.per_instance_s * profile.eval_fraction
@@ -252,7 +248,7 @@ class JobContext:
             round_id,
             wire,
             logical_nbytes=self.wire_bytes if nbytes is None else nbytes,
-            reduce=self.algorithms[rank].reduce,
+            reduce=self.stats(rank).reduce,
             poll_interval=self.config.poll_interval_s,
         )
 

@@ -22,9 +22,18 @@ from repro.errors import ConfigurationError
 from repro.simulation.tracing import TimeBreakdown
 
 
-def train(config: TrainingConfig) -> RunResult:
-    """Run one simulated training job end to end."""
-    ctx = JobContext(config)
+def train(config: TrainingConfig, substrate=None) -> RunResult:
+    """Run one simulated training job end to end.
+
+    ``substrate`` selects the statistical backend: ``None``/``"exact"``
+    for the real numpy path, ``"record"`` (or a
+    :class:`~repro.substrate.record.RecordingSubstrate` instance, whose
+    ``.trace`` survives the call) to additionally capture a convergence
+    trace, or a :class:`~repro.substrate.replay.ReplaySubstrate` to
+    re-emit one with zero numpy work — bit-identical duration, cost,
+    history and breakdown for BSP configs.
+    """
+    ctx = JobContext(config, substrate=substrate)
     executor = _setup_platform(ctx)
 
     procs = [
@@ -57,8 +66,9 @@ def train(config: TrainingConfig) -> RunResult:
         breakdown=TimeBreakdown.max_per_category(traces),
         per_worker=traces,
         checkpoints=ctx.checkpoint_count,
-        final_accuracy=_final_accuracy(ctx),
+        final_accuracy=ctx.substrate.final_accuracy(ctx),
     )
+    ctx.substrate.finalize(ctx, result, outcomes)
     return result
 
 
@@ -68,7 +78,7 @@ def _setup_platform(ctx: JobContext):
     if config.platform == "faas":
         ctx.setup_faas()
         if config.protocol == "asp":
-            init = ctx.algorithms[0].params.astype(np.float64)
+            init = ctx.stats(0).params.astype(np.float64)
             seed_global_model(ctx.channel.store, init, ctx.info.param_bytes)
             return faas_async_worker
         return faas_bsp_worker
@@ -105,16 +115,3 @@ def _bill_job(ctx: JobContext, procs, duration: float) -> None:
         meter.bill_vm(config.ps_instance, duration, count=1)
     if ctx.channel is not None and ctx.channel.node is not None:
         meter.bill_elasticache(ctx.channel.node, duration)
-
-
-def _final_accuracy(ctx: JobContext) -> float | None:
-    """Validation accuracy of worker 0's final model, when defined."""
-    algo = ctx.algorithms[0]
-    model = getattr(algo, "model", None)
-    if model is None or not hasattr(model, "accuracy"):
-        return None
-    shard = ctx.shards[0]
-    try:
-        return float(model.accuracy(algo.params, shard.X_val, shard.y_val))
-    except (TypeError, ValueError):  # pragma: no cover - defensive
-        return None

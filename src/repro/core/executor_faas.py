@@ -53,7 +53,7 @@ def faas_bsp_worker(ctx: JobContext, rank: int):
             )
         if lifetime.needs_checkpoint(ctx.engine.now, round_estimate):
             yield from checkpoint_and_reinvoke(
-                ctx, rank, ctx.algorithms[rank], epoch_float, rounds, local_loss
+                ctx, rank, ctx.stats(rank), epoch_float, rounds, local_loss
             )
             lifetime.reincarnate(ctx.engine.now)
 
@@ -82,11 +82,16 @@ def checkpoint_and_reinvoke(
 
 
 def faas_async_worker(ctx: JobContext, rank: int):
-    """Asynchronous (S-ASP) LambdaML worker."""
+    """Asynchronous (S-ASP) LambdaML worker.
+
+    Timing-coupled (every read-modify-write interleaves), so it only
+    ever runs on the exact substrate — the view below is always a real
+    algorithm with a model and a shard.
+    """
     cfg = ctx.config
-    algo = ctx.algorithms[rank]
+    algo = ctx.stats(rank)
     model = algo.model
-    shard = ctx.shards[rank]
+    shard = algo.shard
     store = ctx.channel.store
     iters_per_epoch = shard.iterations_per_epoch
     per_iter_s = ctx.round_seconds(rank)  # GA round == one iteration

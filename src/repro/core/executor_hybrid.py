@@ -25,9 +25,13 @@ STOP_PREFIX = "stop/"
 
 
 def hybrid_worker(ctx: JobContext, rank: int):
-    """Lambda worker speaking RPC to the VM parameter server."""
+    """Lambda worker speaking RPC to the VM parameter server.
+
+    Timing-coupled (PS updates interleave with no barrier), so it only
+    ever runs on the exact substrate — see TrainingConfig.timing_coupled.
+    """
     cfg = ctx.config
-    algo = ctx.algorithms[rank]
+    algo = ctx.stats(rank)
     ps = ctx.ps
 
     yield Sleep(ctx.startup_s, "startup")

@@ -72,3 +72,17 @@ class CommunicationError(ReproError):
 
 class ConvergenceError(ReproError):
     """Training failed to reach the requested loss threshold in budget."""
+
+
+class SubstrateError(ReproError):
+    """The statistical substrate cannot serve this run (bad mode/trace)."""
+
+
+class ReplayDivergenceError(SubstrateError):
+    """A replayed run consumed more statistical events than its trace holds.
+
+    Raised when the systems layer asks the replay substrate for a loss
+    the recording never produced — the recorded and replayed configs do
+    not actually share a statistical trajectory (fingerprint bug, stale
+    trace, or a timing-coupled config that slipped past the guards).
+    """

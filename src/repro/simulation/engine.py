@@ -39,6 +39,7 @@ import enum
 import heapq
 import itertools
 import math
+import re
 from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import DeadlockError, KeyNotFoundError, SimulationError
@@ -61,6 +62,15 @@ from repro.utils.serialization import payload_nbytes
 
 Command = Any
 ProcessGenerator = Generator[Command, Any, Any]
+
+_DIGITS = re.compile(r"(\d+)")
+
+
+def _natural_key(name: str) -> tuple:
+    """Sort key treating digit runs numerically: worker-2 < worker-10."""
+    return tuple(
+        int(part) if part.isdigit() else part for part in _DIGITS.split(name)
+    )
 
 
 class ProcessState(enum.Enum):
@@ -452,9 +462,15 @@ class Engine:
         pending.append((proc, cmd.value, self.now, cmd.category))
         if len(pending) < group.size:
             return
-        # Last member arrived: reduce and wake everyone.
+        # Last member arrived: reduce and wake everyone. Contributions
+        # are folded in *rank order* — numeric, not lexicographic:
+        # "worker-10" sorting before "worker-2" would fold a >10-member
+        # collective in a different order than the storage patterns,
+        # and float reduction order is visible in the last ulp (the
+        # replay substrate shares traces across platforms on the
+        # promise that it isn't).
         del group.pending[round_id]
-        arrivals = sorted(pending, key=lambda item: item[0].name)
+        arrivals = sorted(pending, key=lambda item: _natural_key(item[0].name))
         values = [value for _, value, _, _ in arrivals]
         nbytes = max((payload_nbytes(v) for v in values), default=0)
         result = group.reduce_fn(values) if group.reduce_fn is not None else None

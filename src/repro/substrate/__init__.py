@@ -1,0 +1,68 @@
+"""Pluggable statistical substrate: exact, recording, and replay modes.
+
+Separates *what the workers compute* (datasets, shards, algorithms,
+losses) from *what the simulation times and bills* (commands, clocks,
+dollars). See :mod:`repro.substrate.base` for the contract and
+:mod:`repro.substrate.traces` for the trace artifact schema.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SubstrateError
+from repro.substrate.base import SUBSTRATE_MODES, Substrate
+from repro.substrate.exact import ExactSubstrate
+from repro.substrate.record import RecordingSubstrate
+from repro.substrate.replay import ReplaySubstrate
+from repro.substrate.traces import (
+    TRACE_SCHEMA_VERSION,
+    TraceError,
+    load_trace,
+    scan_traces,
+    trace_path,
+    validate_trace,
+    write_trace,
+)
+
+__all__ = [
+    "SUBSTRATE_MODES",
+    "Substrate",
+    "ExactSubstrate",
+    "RecordingSubstrate",
+    "ReplaySubstrate",
+    "TRACE_SCHEMA_VERSION",
+    "TraceError",
+    "load_trace",
+    "make_substrate",
+    "scan_traces",
+    "trace_path",
+    "validate_trace",
+    "write_trace",
+]
+
+
+def make_substrate(spec=None) -> Substrate:
+    """Resolve a substrate spec: None/name/instance -> fresh instance.
+
+    ``None`` and ``"exact"`` give the default numpy path; ``"record"``
+    a recording run; ``"replay"`` needs a trace, so it is only valid as
+    an already-constructed :class:`ReplaySubstrate` instance (the sweep
+    orchestrator builds those from ``traces/<stat_hash>.json``).
+    """
+    if spec is None:
+        return ExactSubstrate()
+    if isinstance(spec, Substrate):
+        return spec
+    if spec == "exact":
+        return ExactSubstrate()
+    if spec == "record":
+        return RecordingSubstrate()
+    if spec == "replay":
+        raise SubstrateError(
+            "substrate 'replay' needs a recorded trace: pass "
+            "ReplaySubstrate(trace) (or use the sweep orchestrator, which "
+            "records and replays traces for you)"
+        )
+    raise SubstrateError(
+        f"unknown substrate {spec!r}; expected one of {SUBSTRATE_MODES} "
+        "or a Substrate instance"
+    )

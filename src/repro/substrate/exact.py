@@ -1,0 +1,77 @@
+"""The exact substrate: real numpy training, exactly as before the seam.
+
+Owns what used to live inline in ``JobContext.__init__``: synthesize
+the dataset split, shard it across workers, and instantiate one
+:class:`~repro.optim.base.DistributedAlgorithm` per rank (plus the
+k-means global-initialisation broadcast). Per-rank views are
+:class:`~repro.substrate.base.TimedView` wrappers, so the run also
+learns how many host seconds the statistical work cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.data.loader import make_shards
+from repro.data.synth import generate
+from repro.optim.base import make_algorithm
+from repro.substrate.base import Substrate, TimedView
+
+
+class ExactSubstrate(Substrate):
+    """Default substrate: every statistic computed with real numpy."""
+
+    name = "exact"
+
+    def _build(self, ctx) -> None:
+        config = ctx.config
+        t0 = time.perf_counter()
+        split = generate(config.dataset, scale=ctx.scale, seed=config.seed)
+        self.shards = make_shards(
+            split,
+            config.workers,
+            global_batch=config.physical_batch(ctx.scale),
+            partition_mode=config.partition_mode,
+            seed=config.seed,
+            min_local_batch=config.min_local_batch,
+        )
+        # k-means needs one globally sampled initialisation broadcast
+        # to every worker (the starter's job in LambdaML).
+        kmeans_init = None
+        if ctx.info.kind == "kmeans":
+            probe_model = ctx.info.factory()
+            kmeans_init = probe_model.init_centroids(split.X_train, rng=config.seed)
+        self.algorithms = [
+            make_algorithm(
+                config.algorithm,
+                ctx.info.factory(),
+                shard,
+                lr=config.lr,
+                seed=config.seed,  # same init on every worker
+                admm_rho=config.admm_rho,
+                admm_scans=config.admm_scans,
+                ma_sync_epochs=config.ma_sync_epochs,
+                kmeans_init=kmeans_init,
+            )
+            for shard in self.shards
+        ]
+        self.compute_seconds += time.perf_counter() - t0
+        self._views = [TimedView(algo, self) for algo in self.algorithms]
+
+    def stats(self, rank: int):
+        return self._views[rank]
+
+    def final_accuracy(self, ctx) -> float | None:
+        """Validation accuracy of worker 0's final model, when defined."""
+        algo = self.algorithms[0]
+        model = getattr(algo, "model", None)
+        if model is None or not hasattr(model, "accuracy"):
+            return None
+        shard = self.shards[0]
+        t0 = time.perf_counter()
+        try:
+            return float(model.accuracy(algo.params, shard.X_val, shard.y_val))
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            return None
+        finally:
+            self.compute_seconds += time.perf_counter() - t0

@@ -12,7 +12,10 @@ Layout:
   config fingerprinting/hashing.
 * :mod:`repro.sweep.artifacts` — the per-point JSON schema, atomic
   writes, validation, and corrupt-artifact detection.
-* :mod:`repro.sweep.orchestrator` — the pool fan-out / resume loop.
+* :mod:`repro.sweep.orchestrator` — the pool fan-out / resume loop,
+  including the two-phase record/replay sweep (``substrate="auto"``):
+  one exact training per unique statistical fingerprint, replays for
+  the rest (see :mod:`repro.substrate`).
 * :mod:`repro.sweep.registry` — named sweep experiments the CLI runs
   (fig8 / fig9 / fig11 / fig12 grids plus a seconds-scale ``smoke``).
 """
@@ -27,13 +30,21 @@ from repro.sweep.artifacts import (
     write_artifact,
 )
 from repro.sweep.grid import SweepPoint, config_fingerprint, config_hash, expand_grid
-from repro.sweep.orchestrator import SweepRun, run_point, run_sweep
+from repro.sweep.orchestrator import (
+    SWEEP_SUBSTRATES,
+    SweepRun,
+    plan_sweep,
+    run_point,
+    run_sweep,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactError",
+    "SWEEP_SUBSTRATES",
     "SweepPoint",
     "SweepRun",
+    "plan_sweep",
     "artifact_from_result",
     "config_fingerprint",
     "config_hash",

@@ -1,9 +1,9 @@
 """Per-point sweep artifacts: one JSON file per completed run.
 
-Artifact schema (version 1)::
+Artifact schema (version 2)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "experiment": "fig11",
       "label": "faas,W=512",
       "tags": {"series": "lr/higgs", "system": "faas"},
@@ -22,13 +22,22 @@ Artifact schema (version 1)::
         "time_breakdown": {category: seconds},   # Figure-10 style
         "history": [[time_s, epoch, loss, worker], ...]
       },
-      "meta": {"wall_seconds": float}  # host wall-clock; NOT deterministic
+      "meta": {
+        "wall_seconds": float,        # host wall-clock; NOT deterministic
+        "engine_version": "1.2.0",
+        "substrate": "exact" | "record" | "replay",  # which backend ran it
+        "compute_seconds": float      # host seconds of statistical numpy work
+      }
     }
 
 Everything outside ``meta`` is a pure function of the config, so two
-artifacts for the same point — serial or across the pool boundary —
-must be byte-identical after dropping ``meta`` (the determinism tests
-assert exactly that).
+artifacts for the same point — serial or across the pool boundary,
+exact or replayed from a recorded trace — must be byte-identical after
+dropping ``meta`` (the determinism tests assert exactly that).
+
+Schema history: version 1 (PR 2) lacked ``meta.substrate`` and
+``meta.compute_seconds``. Version-1 artifacts still load (resume reuses
+them with a warning); everything written now is version 2.
 
 Writes are atomic (tmp file + ``os.replace``) so an interrupted sweep
 never leaves a half-written ``<hash>.json``; a partial/corrupt file is
@@ -47,7 +56,9 @@ from repro.core.results import LossPoint, RunResult
 from repro.simulation.tracing import TimeBreakdown
 from repro.sweep.grid import SweepPoint, config_fingerprint, fingerprint_hash
 
-ARTIFACT_SCHEMA_VERSION = 1
+ARTIFACT_SCHEMA_VERSION = 2
+#: Older schemas `load_artifact` still accepts (resume warns on reuse).
+COMPATIBLE_SCHEMA_VERSIONS = (1, ARTIFACT_SCHEMA_VERSION)
 
 
 class ArtifactError(ValueError):
@@ -55,9 +66,13 @@ class ArtifactError(ValueError):
 
 
 def artifact_from_result(
-    point: SweepPoint, result: RunResult, wall_seconds: float = 0.0
+    point: SweepPoint,
+    result: RunResult,
+    wall_seconds: float = 0.0,
+    substrate: str = "exact",
+    compute_seconds: float = 0.0,
 ) -> dict:
-    """Serialize one completed run as a schema-1 artifact dict."""
+    """Serialize one completed run as a schema-2 artifact dict."""
     fingerprint = config_fingerprint(result.config)
     return {
         "schema": ARTIFACT_SCHEMA_VERSION,
@@ -87,6 +102,11 @@ def artifact_from_result(
             # cannot see code changes, so resume surfaces a warning
             # when it reuses artifacts from another engine version.
             "engine_version": repro_version,
+            # Which statistical backend ran the point, and how many
+            # host seconds of real numpy work it cost — the sweep's
+            # wall-clock ledger (replayed points record ~0 here).
+            "substrate": substrate,
+            "compute_seconds": round(compute_seconds, 3),
         },
     }
 
@@ -140,9 +160,9 @@ def validate_artifact(artifact: dict, expected_hash: str | None = None) -> dict:
     """Check schema version and hash integrity; raise ArtifactError."""
     if not isinstance(artifact, dict):
         raise ArtifactError(f"artifact is {type(artifact).__name__}, not an object")
-    if artifact.get("schema") != ARTIFACT_SCHEMA_VERSION:
+    if artifact.get("schema") not in COMPATIBLE_SCHEMA_VERSIONS:
         raise ArtifactError(
-            f"schema {artifact.get('schema')!r} != {ARTIFACT_SCHEMA_VERSION}"
+            f"schema {artifact.get('schema')!r} not in {COMPATIBLE_SCHEMA_VERSIONS}"
         )
     shape = {
         "experiment": str, "label": str, "config_hash": str,

@@ -15,47 +15,23 @@ silently reusing them.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
-import json
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field
 
-from repro.core.config import TrainingConfig
+from repro.core.config import TrainingConfig, config_fingerprint
 from repro.errors import ConfigurationError
+from repro.utils.hashing import HASH_CHARS, fingerprint_hash
 
-HASH_CHARS = 16  # 64 bits of sha256: ample for any practical grid
-
-
-def config_fingerprint(config: TrainingConfig) -> dict:
-    """All init fields of a config (defaults included), JSON-ready."""
-    return {
-        f.name: getattr(config, f.name)
-        for f in fields(TrainingConfig)
-        if f.init
-    }
-
-
-def _canonical_value(value):
-    """Collapse numerically equal spellings before hashing.
-
-    ``TrainingConfig(max_epochs=40)`` and ``max_epochs=40.0`` compare
-    equal, so they must hash equal too — but ``json.dumps`` renders
-    ``40`` vs ``40.0``. Integral floats are therefore hashed as ints
-    (bools are left alone; they are configuration flags, not numbers).
-    """
-    if isinstance(value, bool) or not isinstance(value, float):
-        return value
-    return int(value) if value.is_integer() else value
-
-
-def fingerprint_hash(fingerprint: dict) -> str:
-    """Stable hex digest of a config fingerprint dict."""
-    canonical = json.dumps(
-        {name: _canonical_value(value) for name, value in fingerprint.items()},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    return hashlib.sha256(canonical.encode()).hexdigest()[:HASH_CHARS]
+__all__ = [
+    "HASH_CHARS",
+    "SweepPoint",
+    "config_fingerprint",
+    "config_hash",
+    "dedupe_points",
+    "dedupe_with_hashes",
+    "expand_grid",
+    "fingerprint_hash",
+]
 
 
 def config_hash(config: TrainingConfig) -> str:
@@ -97,22 +73,26 @@ def expand_grid(base: dict, axes: dict[str, tuple] | None = None):
 
 def dedupe_with_hashes(
     points: list[SweepPoint],
-) -> tuple[list[SweepPoint], list[str]]:
-    """Drop config-hash collisions (first wins); return points + hashes.
+) -> tuple[list[SweepPoint], list[str], list[TrainingConfig]]:
+    """Drop config-hash collisions (first wins); points + hashes + configs.
 
     The orchestrator runs on this so each point's ``TrainingConfig`` is
-    built and validated exactly once for dedupe *and* resume addressing.
+    built and validated exactly once for dedupe, resume addressing *and*
+    statistical-fingerprint grouping.
     """
     seen: set[str] = set()
     unique: list[SweepPoint] = []
     hashes: list[str] = []
+    configs: list[TrainingConfig] = []
     for point in points:
-        h = point.hash()
+        config = point.config()
+        h = config_hash(config)
         if h not in seen:
             seen.add(h)
             unique.append(point)
             hashes.append(h)
-    return unique, hashes
+            configs.append(config)
+    return unique, hashes, configs
 
 
 def dedupe_points(points: list[SweepPoint]) -> list[SweepPoint]:

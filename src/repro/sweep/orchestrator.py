@@ -2,19 +2,36 @@
 
 Design constraints:
 
-* **Workers are pure.** :func:`run_point` takes one picklable
-  :class:`SweepPoint`, builds the ``TrainingConfig`` and runs
-  ``train()`` inside the child process, and returns a primitives-only
-  artifact dict. No simulator state crosses the process boundary, so
-  serial and ``--jobs N`` sweeps produce byte-identical artifacts.
-* **The parent owns the disk.** Artifacts are written by the
-  orchestrator as results stream back (atomic tmp+rename), never by
-  pool workers, so a sweep directory sees one writer and an interrupt
-  (Ctrl-C, OOM-killed child, dead CI box) leaves only whole files.
-* **Resume is hash-addressed.** ``resume=True`` scans the sweep
-  directory once and skips every point whose config hash already has a
-  valid artifact; corrupt or partial files are treated as not-run and
-  overwritten.
+* **Workers are pure.** :func:`run_task` takes one picklable
+  :class:`_Task`, builds the ``TrainingConfig`` and runs ``train()``
+  inside the child process, and returns a primitives-only artifact
+  dict (plus, for recordings, a primitives-only trace dict). No
+  simulator state crosses the process boundary, so serial and
+  ``--jobs N`` sweeps produce byte-identical artifacts.
+* **The parent owns the disk.** Artifacts and traces are written by
+  the orchestrator as results stream back (atomic tmp+rename), never
+  by pool workers, so a sweep directory sees one writer and an
+  interrupt (Ctrl-C, OOM-killed child, dead CI box) leaves only whole
+  files.
+* **Resume is hash-addressed at both phases.** ``resume=True`` scans
+  the sweep directory once and skips every point whose config hash
+  already has a valid artifact; corrupt or partial files are treated
+  as not-run and overwritten. Replay sweeps additionally skip the
+  phase-0 recording of every statistical fingerprint that already has
+  a valid ``traces/<stat_hash>.json``.
+
+Two-phase replay sweeps (``substrate="auto"`` / ``"replay"``):
+
+Most sweep axes (channel, pattern, instance, poll interval, prices,
+Lambda sizing) move simulated clocks and dollars but cannot change a
+BSP loss trajectory — the statistical and systems axes of the design
+space are separable. Phase 0 therefore groups the grid by
+``TrainingConfig.stat_fingerprint()`` and runs *one* exact (recording)
+training per unique fingerprint; phase 1 replays the recorded trace
+for every other point in the group, yielding bit-identical artifacts
+at ~zero numpy cost. Timing-coupled configs (ASP, hybrid PS) have no
+systems-independent trajectory: ``"auto"`` silently runs them exact,
+``"replay"`` refuses them.
 """
 
 from __future__ import annotations
@@ -28,12 +45,22 @@ from pathlib import Path
 from repro import __version__ as repro_version
 from repro.core.driver import train
 from repro.errors import ConfigurationError
+from repro.substrate import (
+    ExactSubstrate,
+    RecordingSubstrate,
+    ReplaySubstrate,
+    scan_traces,
+    write_trace,
+)
 from repro.sweep.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
     artifact_from_result,
     scan_artifacts,
     write_artifact,
 )
 from repro.sweep.grid import SweepPoint, dedupe_with_hashes
+
+SWEEP_SUBSTRATES = ("exact", "replay", "auto")
 
 
 @dataclass
@@ -45,13 +72,48 @@ class SweepRun:
     skipped: int = 0
     corrupt: list[str] = field(default_factory=list)
     out_dir: str | None = None
+    # Replay-sweep bookkeeping (all zero for substrate="exact").
+    substrate: str = "exact"
+    stat_groups: int = 0  # unique stat fingerprints among pending points
+    recorded: int = 0  # phase-0 exact trainings that captured a trace
+    replayed: int = 0  # phase-1 points served from a trace
+    exact_runs: int = 0  # plain exact runs (incl. timing-coupled fallbacks)
+    traces_dir: str | None = None
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One pool job: a sweep point plus the substrate to run it on."""
+
+    index: int  # position in the deduped grid (progress display)
+    point: SweepPoint
+    mode: str = "exact"  # exact | record | replay
+    trace: dict | None = None  # required when mode == "replay"
+
+
+def run_task(task: _Task) -> tuple[int, dict, dict | None]:
+    """Execute one sweep task end to end (pool worker entry point)."""
+    t0 = time.perf_counter()
+    if task.mode == "record":
+        substrate = RecordingSubstrate()
+    elif task.mode == "replay":
+        substrate = ReplaySubstrate(task.trace)
+    else:
+        substrate = ExactSubstrate()
+    result = train(task.point.config(), substrate=substrate)
+    artifact = artifact_from_result(
+        task.point,
+        result,
+        wall_seconds=time.perf_counter() - t0,
+        substrate=task.mode,
+        compute_seconds=substrate.compute_seconds,
+    )
+    return task.index, artifact, substrate.trace if task.mode == "record" else None
 
 
 def run_point(point: SweepPoint) -> dict:
-    """Execute one sweep point end to end (pool worker entry point)."""
-    t0 = time.perf_counter()
-    result = train(point.config())
-    return artifact_from_result(point, result, wall_seconds=time.perf_counter() - t0)
+    """Execute one sweep point exactly (kept for library/test callers)."""
+    return run_task(_Task(0, point))[1]
 
 
 def _pool_context():
@@ -60,12 +122,86 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _resolve_traces_dir(
+    out_dir: str | os.PathLike | None, traces_dir: str | os.PathLike | None
+):
+    if traces_dir is not None:
+        return Path(traces_dir)
+    if out_dir is not None:
+        return Path(out_dir) / "traces"
+    return None  # in-memory sweep: traces live only for this invocation
+
+
+def plan_sweep(
+    points: list[SweepPoint],
+    out_dir: str | os.PathLike | None = None,
+    traces_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+) -> dict:
+    """What a sweep *would* do, without running anything (``--dry-run``).
+
+    Returns grid size, unique statistical fingerprints, how many
+    artifacts/traces already exist on disk, and how much exact numpy
+    work a replay-mode invocation would actually pay for. ``resume``
+    must match the planned invocation: on-disk artifacts and traces
+    only count as done when the real run would reuse them too.
+    """
+    points, hashes, configs = dedupe_with_hashes(list(points))
+    completed, corrupt = scan_artifacts(out_dir) if out_dir is not None else ({}, [])
+    traces_dir = _resolve_traces_dir(out_dir, traces_dir)
+    traces, corrupt_traces = (
+        scan_traces(traces_dir) if traces_dir is not None else ({}, [])
+    )
+
+    stat_hashes: set[str] = set()
+    replayable_hashes: set[str] = set()
+    coupled = 0
+    pending_stat_hashes: set[str] = set()
+    pending_coupled = 0
+    pending = 0
+    for config, point_hash in zip(configs, hashes):
+        stat_hash = config.stat_hash()
+        stat_hashes.add(stat_hash)
+        if config.timing_coupled:
+            coupled += 1
+        else:
+            replayable_hashes.add(stat_hash)
+        if resume and point_hash in completed:
+            continue
+        pending += 1
+        if config.timing_coupled:
+            pending_coupled += 1
+        else:
+            pending_stat_hashes.add(stat_hash)
+
+    usable_traces = traces if resume else {}
+    recordings_needed = sum(1 for h in pending_stat_hashes if h not in usable_traces)
+    return {
+        "points": len(points),
+        "unique_stat_fingerprints": len(stat_hashes),
+        "timing_coupled_points": coupled,
+        "pending_timing_coupled": pending_coupled,
+        "artifacts_present": sum(1 for h in hashes if h in completed),
+        "artifacts_corrupt": len(corrupt),
+        "traces_present": sum(1 for h in replayable_hashes if h in traces),
+        "traces_corrupt": len(corrupt_traces),
+        "pending_points": pending,
+        "exact_trainings_needed": recordings_needed + pending_coupled,
+        "replays_needed": pending - pending_coupled - recordings_needed,
+        "resume": resume,
+        "out_dir": None if out_dir is None else str(out_dir),
+        "traces_dir": None if traces_dir is None else str(traces_dir),
+    }
+
+
 def run_sweep(
     points: list[SweepPoint],
     out_dir: str | os.PathLike | None = None,
     jobs: int = 1,
     resume: bool = False,
     progress=None,
+    substrate: str = "exact",
+    traces_dir: str | os.PathLike | None = None,
 ) -> SweepRun:
     """Run a grid of sweep points, optionally in parallel and resumable.
 
@@ -83,14 +219,27 @@ def run_sweep(
     progress:
         Optional callable ``progress(message: str)`` for per-point
         status lines (the CLI passes one; the library default is quiet).
+    substrate:
+        ``"exact"`` trains every point with real numpy (the default).
+        ``"auto"`` runs the two-phase record/replay sweep, falling back
+        to exact for timing-coupled (ASP / hybrid-PS) points.
+        ``"replay"`` is ``"auto"`` that *refuses* timing-coupled points
+        instead of falling back.
+    traces_dir:
+        Where ``<stat_hash>.json`` traces go (default:
+        ``<out_dir>/traces``; in-memory when ``out_dir`` is ``None``).
     """
+    if substrate not in SWEEP_SUBSTRATES:
+        raise ConfigurationError(
+            f"unknown sweep substrate {substrate!r}; known: {SWEEP_SUBSTRATES}"
+        )
     if resume and out_dir is None:
         raise ConfigurationError("resume=True requires an artifact directory")
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
 
     say = progress or (lambda message: None)
-    points, hashes = dedupe_with_hashes(list(points))
+    points, hashes, configs = dedupe_with_hashes(list(points))
 
     completed: dict[str, dict] = {}
     corrupt: list[Path] = []
@@ -110,18 +259,26 @@ def run_sweep(
 
     by_hash: dict[str, dict] = {}
     skipped = 0
-    pending: list[tuple[int, SweepPoint, str]] = []
-    for index, (point, point_hash) in enumerate(zip(points, hashes)):
+    pending: list[tuple[int, SweepPoint, object]] = []
+    for index, (point, point_hash, config) in enumerate(
+        zip(points, hashes, configs)
+    ):
         if point_hash in completed:
             artifact = completed[point_hash]
-            recorded = artifact["meta"].get("engine_version")
-            if recorded != repro_version:
+            recorded_version = artifact["meta"].get("engine_version")
+            if recorded_version != repro_version:
                 # The config hash can't see code changes; at least make
                 # cross-version mixing visible (delete the artifact or
                 # use a fresh --out to force a clean re-run).
                 say(
                     f"warning: reusing {point_hash}.json from engine "
-                    f"{recorded or 'unknown'} (running {repro_version})"
+                    f"{recorded_version or 'unknown'} (running {repro_version})"
+                )
+            if artifact["schema"] != ARTIFACT_SCHEMA_VERSION:
+                say(
+                    f"warning: reusing {point_hash}.json with artifact schema "
+                    f"{artifact['schema']} (current: {ARTIFACT_SCHEMA_VERSION}; "
+                    "its meta lacks substrate/compute_seconds)"
                 )
             # Labels/tags are presentation metadata, deliberately
             # outside the hash. When a grid renames them, refresh the
@@ -139,39 +296,141 @@ def run_sweep(
             skipped += 1
             say(f"[{index + 1}/{len(points)}] {point.label}: skipped (artifact exists)")
         else:
-            pending.append((index, point, point_hash))
+            pending.append((index, point, config))
 
-    def finish(index: int, point: SweepPoint, artifact: dict) -> None:
+    run = SweepRun(
+        skipped=skipped,
+        corrupt=[str(p) for p in corrupt],
+        out_dir=None if out_dir is None else str(out_dir),
+        substrate=substrate,
+    )
+
+    def finish(task: _Task, artifact: dict) -> None:
         by_hash[artifact["config_hash"]] = artifact
         if out_dir is not None:
             write_artifact(out_dir, artifact)
         say(
-            f"[{index + 1}/{len(points)}] {point.label}: "
+            f"[{task.index + 1}/{len(points)}] {task.point.label}: "
             f"runtime={artifact['result']['duration_s']:.1f}s "
             f"cost=${artifact['result']['cost_total']:.4f} "
             f"converged={artifact['result']['converged']} "
-            f"({artifact['meta']['wall_seconds']:.1f}s wall)"
+            f"({artifact['meta']['wall_seconds']:.1f}s wall, {task.mode})"
         )
 
-    if pending:
-        jobs = min(jobs, len(pending))
-        if jobs == 1:
-            for index, point, _ in pending:
-                finish(index, point, run_point(point))
+    def execute(tasks: list[_Task], on_trace=None) -> None:
+        """Fan a batch of tasks over the pool (or inline); stream writes."""
+        if not tasks:
+            return
+        run.ran += len(tasks)
+        for task in tasks:
+            if task.mode == "record":
+                run.recorded += 1
+            elif task.mode == "replay":
+                run.replayed += 1
+            else:
+                run.exact_runs += 1
+        by_index = {task.index: task for task in tasks}
+        width = min(jobs, len(tasks))
+        if width == 1:
+            for task in tasks:
+                index, artifact, trace = run_task(task)
+                finish(task, artifact)
+                if trace is not None and on_trace is not None:
+                    on_trace(trace)
         else:
             ctx = _pool_context()
-            order = {point_hash: (i, p) for i, p, point_hash in pending}
-            with ctx.Pool(processes=jobs) as pool:
-                for artifact in pool.imap_unordered(
-                    run_point, [p for _, p, _ in pending]
-                ):
-                    index, point = order[artifact["config_hash"]]
-                    finish(index, point, artifact)
+            with ctx.Pool(processes=width) as pool:
+                for index, artifact, trace in pool.imap_unordered(run_task, tasks):
+                    finish(by_index[index], artifact)
+                    if trace is not None and on_trace is not None:
+                        on_trace(trace)
 
-    return SweepRun(
-        artifacts=[by_hash[h] for h in hashes],
-        ran=len(pending),
-        skipped=skipped,
-        corrupt=[str(p) for p in corrupt],
-        out_dir=None if out_dir is None else str(out_dir),
+    if substrate == "exact":
+        execute([_Task(index, point) for index, point, _ in pending])
+    else:
+        _run_two_phase(run, pending, substrate, out_dir, traces_dir, resume, say, execute)
+
+    run.artifacts = [by_hash[h] for h in hashes]
+    return run
+
+
+def _run_two_phase(
+    run: SweepRun, pending, substrate, out_dir, traces_dir, resume, say, execute
+) -> None:
+    """Group by stat fingerprint; record once per group, replay the rest."""
+    traces_dir = _resolve_traces_dir(out_dir, traces_dir)
+    run.traces_dir = None if traces_dir is None else str(traces_dir)
+    traces: dict[str, dict] = {}
+    if traces_dir is not None and resume:
+        # Reusing a previously recorded trace is the same act of trust
+        # as reusing a previously written artifact: both are opt-in via
+        # resume. A non-resume sweep re-records everything (and
+        # overwrites the stale files), so code changes cannot leak old
+        # trajectories into fresh artifacts.
+        traces, corrupt_traces = scan_traces(traces_dir)
+        for path in corrupt_traces:
+            say(f"corrupt trace {path.name}: that fingerprint will be re-recorded")
+        for stat_hash, trace in traces.items():
+            recorded_version = trace["meta"].get("engine_version")
+            if recorded_version != repro_version:
+                say(
+                    f"warning: trace {stat_hash}.json was recorded by engine "
+                    f"{recorded_version or 'unknown'} (running {repro_version})"
+                )
+
+    exact_tasks: list[_Task] = []
+    groups: dict[str, list[_Task]] = {}
+    for index, point, config in pending:
+        if config.timing_coupled:
+            if substrate == "replay":
+                raise ConfigurationError(
+                    f"point {point.label!r} ({config.protocol}/{config.platform}) "
+                    "is timing-coupled and cannot be replayed; run it with "
+                    "substrate='auto' (exact fallback) or 'exact'"
+                )
+            exact_tasks.append(_Task(index, point))
+        else:
+            groups.setdefault(config.stat_hash(), []).append(_Task(index, point))
+    run.stat_groups = len(groups)
+
+    record_tasks: list[_Task] = []
+    replay_ready: list[tuple[_Task, str]] = []
+    replay_blocked: dict[str, list[_Task]] = {}
+    for stat_hash, tasks in groups.items():
+        rest = tasks
+        if stat_hash not in traces:
+            head, *rest = tasks
+            record_tasks.append(
+                _Task(head.index, head.point, mode="record")
+            )
+            replay_blocked[stat_hash] = rest
+        else:
+            replay_ready.extend((task, stat_hash) for task in tasks)
+
+    say(
+        f"phase 0: {len(record_tasks)} exact recording(s) for "
+        f"{run.stat_groups} unique statistical fingerprint(s) "
+        f"({len(traces)} trace(s) already on disk)"
+        + (f"; {len(exact_tasks)} timing-coupled point(s) run exact" if exact_tasks else "")
     )
+
+    def on_trace(trace: dict) -> None:
+        traces[trace["stat_hash"]] = trace
+        if traces_dir is not None:
+            write_trace(traces_dir, trace)
+
+    # Timing-coupled fallbacks ride along with the recordings: both are
+    # full-cost exact trainings, so one pool pass covers phase 0.
+    execute(record_tasks + exact_tasks, on_trace=on_trace)
+
+    replay_tasks = [
+        _Task(task.index, task.point, mode="replay", trace=traces[stat_hash])
+        for task, stat_hash in replay_ready
+    ] + [
+        _Task(task.index, task.point, mode="replay", trace=traces[stat_hash])
+        for stat_hash, tasks in replay_blocked.items()
+        for task in tasks
+    ]
+    replay_tasks.sort(key=lambda task: task.index)
+    say(f"phase 1: replaying {len(replay_tasks)} point(s) from recorded traces")
+    execute(replay_tasks)

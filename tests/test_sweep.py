@@ -31,7 +31,7 @@ from repro.sweep.artifacts import (
     scan_artifacts,
     write_artifact,
 )
-from repro.sweep.grid import config_hash, dedupe_points, expand_grid
+from repro.sweep.grid import SweepPoint, config_hash, dedupe_points, expand_grid
 from repro.sweep.orchestrator import run_point, run_sweep
 from repro.sweep.registry import get_experiment
 
@@ -285,6 +285,35 @@ class TestSweepCli:
         stdout = capsys.readouterr().out
         assert "0 point(s) run, 4 skipped" in stdout
 
+    def test_sweep_substrate_auto_and_dry_run(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["sweep", "--experiment", "smoke", "--out", str(out),
+                     "--dry-run", "--substrate", "auto"]) == 0
+        stdout = capsys.readouterr().out
+        assert "dry run" in stdout
+        assert "unique stat fingerprints:     1" in stdout
+        assert "would train: 1 exact point(s) and replay 3" in stdout
+        assert not out.exists()  # a dry run runs (and writes) nothing
+
+        assert main(["sweep", "--experiment", "smoke", "--out", str(out),
+                     "--substrate", "auto", "--no-report"]) == 0
+        stdout = capsys.readouterr().out
+        assert "1 recorded, 3 replayed, 0 exact" in stdout
+        assert len(list((out / "traces").glob("*.json"))) == 1
+
+        assert main(["sweep", "--experiment", "smoke", "--out", str(out),
+                     "--dry-run", "--substrate", "auto", "--resume"]) == 0
+        stdout = capsys.readouterr().out
+        assert "would train: 0 exact point(s) and replay 0" in stdout
+
+        # Without --resume the same dry run must NOT claim the work is
+        # done — a non-resume invocation re-runs every point.
+        assert main(["sweep", "--experiment", "smoke", "--out", str(out),
+                     "--dry-run", "--substrate", "auto"]) == 0
+        stdout = capsys.readouterr().out
+        assert "would train: 1 exact point(s) and replay 3" in stdout
+        assert "reused only with --resume" in stdout
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--experiment", "fig99"])
@@ -326,6 +355,182 @@ class TestSweepCli:
             points = get_experiment(name).points()
             hashes = [p.hash() for p in points]
             assert len(set(hashes)) == len(hashes), name
+
+
+class TestTwoPhaseSweep:
+    """Record-once/replay-everywhere sweeps (``substrate="auto"``)."""
+
+    def test_auto_records_once_and_replays_the_rest(self, tmp_path):
+        points = SMOKE_POINTS()  # 4 points, 1 statistical fingerprint
+        run = run_sweep(points, out_dir=tmp_path, substrate="auto")
+        assert (run.stat_groups, run.recorded, run.replayed, run.exact_runs) == (
+            1, 1, len(points) - 1, 0,
+        )
+        trace_files = list((tmp_path / "traces").glob("*.json"))
+        assert len(trace_files) == 1
+        stat_hash = points[0].config().stat_hash()
+        assert trace_files[0].stem == stat_hash
+        substrates = {a["meta"]["substrate"] for a in run.artifacts}
+        assert substrates == {"record", "replay"}
+
+    def test_auto_artifacts_match_exact_artifacts(self, tmp_path):
+        points = SMOKE_POINTS()
+        exact = run_sweep(points, out_dir=tmp_path / "exact", substrate="exact")
+        auto = run_sweep(points, out_dir=tmp_path / "auto", substrate="auto")
+        for a, b in zip(exact.artifacts, auto.artifacts):
+            assert strip_meta(a) == strip_meta(b), a["label"]
+        # Replayed points record (almost) zero statistical compute; the
+        # single recording carries the numpy bill.
+        replayed = [a for a in auto.artifacts if a["meta"]["substrate"] == "replay"]
+        assert replayed and all(
+            a["meta"]["compute_seconds"] < 0.05 for a in replayed
+        )
+        recorded = [a for a in auto.artifacts if a["meta"]["substrate"] == "record"]
+        assert len(recorded) == 1 and recorded[0]["meta"]["compute_seconds"] > 0
+
+    def test_auto_pool_matches_serial_byte_for_byte(self, tmp_path):
+        points = SMOKE_POINTS()
+        serial = run_sweep(points, out_dir=tmp_path / "serial", substrate="auto")
+        pooled = run_sweep(points, out_dir=tmp_path / "pool", substrate="auto", jobs=4)
+        assert serial.ran == pooled.ran == len(points)
+        for a, b in zip(serial.artifacts, pooled.artifacts):
+            assert strip_meta(a) == strip_meta(b), a["label"]
+
+    def test_resume_skips_both_phases(self, tmp_path):
+        points = SMOKE_POINTS()
+        run_sweep(points, out_dir=tmp_path, substrate="auto")
+        resumed = run_sweep(points, out_dir=tmp_path, substrate="auto", resume=True)
+        assert (resumed.ran, resumed.skipped) == (0, len(points))
+        assert (resumed.recorded, resumed.replayed) == (0, 0)
+
+    def test_resume_reuses_traces_after_artifact_loss(self, tmp_path):
+        # Phase-0 work survives even if every artifact is lost: the
+        # trace makes the whole re-run replay-speed.
+        points = SMOKE_POINTS()
+        run_sweep(points, out_dir=tmp_path, substrate="auto")
+        for path in tmp_path.glob("*.json"):
+            path.unlink()
+        resumed = run_sweep(points, out_dir=tmp_path, substrate="auto", resume=True)
+        assert (resumed.recorded, resumed.replayed) == (0, len(points))
+
+    def test_without_resume_existing_traces_are_not_reused(self, tmp_path):
+        # Trace reuse is the same act of trust as artifact reuse: both
+        # are opt-in via resume, so a code change followed by a plain
+        # (non-resume) sweep can never stamp stale trajectories into
+        # fresh artifacts.
+        points = SMOKE_POINTS()
+        run_sweep(points, out_dir=tmp_path, substrate="auto")
+        trace_file = next((tmp_path / "traces").glob("*.json"))
+        before = trace_file.read_text()
+        rerun = run_sweep(points, out_dir=tmp_path, substrate="auto")
+        assert rerun.recorded == 1  # re-recorded, not reused
+        assert json.loads(trace_file.read_text())["stat_hash"] in before
+
+    def test_corrupt_trace_is_rerecorded(self, tmp_path):
+        points = SMOKE_POINTS()
+        run_sweep(points, out_dir=tmp_path, substrate="auto")
+        trace_file = next((tmp_path / "traces").glob("*.json"))
+        trace_file.write_text("{broken")
+        for path in tmp_path.glob("*.json"):
+            path.unlink()
+        messages = []
+        rerun = run_sweep(
+            points, out_dir=tmp_path, substrate="auto", resume=True,
+            progress=messages.append,
+        )
+        assert rerun.recorded == 1 and rerun.replayed == len(points) - 1
+        assert any("corrupt trace" in m for m in messages)
+        from repro.substrate import load_trace
+
+        load_trace(trace_file)  # healed by the re-recording
+
+    def test_replay_mode_refuses_timing_coupled_points(self):
+        asp = SweepPoint(
+            "x", "asp-point",
+            config_kwargs=dict(
+                model="lr", dataset="higgs", algorithm="ga_sgd",
+                protocol="asp", data_scale=5000, max_epochs=1.0, workers=4,
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="timing-coupled"):
+            run_sweep([asp], substrate="replay")
+
+    def test_auto_falls_back_to_exact_for_timing_coupled_points(self, tmp_path):
+        asp = SweepPoint(
+            "x", "asp-point",
+            config_kwargs=dict(
+                model="lr", dataset="higgs", algorithm="ga_sgd",
+                protocol="asp", data_scale=5000, max_epochs=1.0, workers=4,
+            ),
+        )
+        run = run_sweep([asp], out_dir=tmp_path, substrate="auto")
+        assert (run.exact_runs, run.recorded, run.replayed) == (1, 0, 0)
+        assert run.artifacts[0]["meta"]["substrate"] == "exact"
+        assert not (tmp_path / "traces").exists()  # nothing replayable
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep substrate"):
+            run_sweep(SMOKE_POINTS(), substrate="surrogate")
+
+    def test_in_memory_two_phase_sweep(self):
+        # out_dir=None keeps artifacts AND traces in memory only.
+        run = run_sweep(SMOKE_POINTS(), substrate="auto")
+        assert run.recorded == 1 and run.replayed == len(SMOKE_POINTS()) - 1
+        assert run.traces_dir is None
+
+    def test_schema_1_artifact_still_loads_with_resume_warning(self, tmp_path):
+        points = SMOKE_POINTS()[:1]
+        run_sweep(points, out_dir=tmp_path)
+        path = artifact_path(tmp_path, points[0].hash())
+        artifact = json.loads(path.read_text())
+        artifact["schema"] = 1  # downgrade to the PR-2 schema...
+        del artifact["meta"]["substrate"]  # ...which lacked these keys
+        del artifact["meta"]["compute_seconds"]
+        path.write_text(json.dumps(artifact, sort_keys=True, indent=1) + "\n")
+
+        load_artifact(path)  # backward-compatible load
+        messages = []
+        resumed = run_sweep(
+            points, out_dir=tmp_path, resume=True, progress=messages.append
+        )
+        assert resumed.skipped == 1
+        assert any("schema 1" in m for m in messages), messages
+
+
+class TestPlanSweep:
+    def test_plan_counts_fingerprints_and_existing_work(self, tmp_path):
+        from repro.sweep.orchestrator import plan_sweep
+
+        points = SMOKE_POINTS()
+        plan = plan_sweep(points, out_dir=tmp_path)
+        assert plan["points"] == len(points)
+        assert plan["unique_stat_fingerprints"] == 1
+        assert plan["artifacts_present"] == 0 and plan["traces_present"] == 0
+        assert plan["exact_trainings_needed"] == 1
+        assert plan["replays_needed"] == len(points) - 1
+
+        run_sweep(points[:2], out_dir=tmp_path, substrate="auto")
+        plan = plan_sweep(points, out_dir=tmp_path, resume=True)
+        assert plan["artifacts_present"] == 2
+        assert plan["traces_present"] == 1
+        assert plan["pending_points"] == len(points) - 2
+        assert plan["exact_trainings_needed"] == 0  # trace already exists
+        assert plan["replays_needed"] == len(points) - 2
+
+        # Without resume the real run reuses nothing, and the plan must
+        # say so — while still reporting what sits on disk.
+        plan = plan_sweep(points, out_dir=tmp_path, resume=False)
+        assert plan["artifacts_present"] == 2 and plan["traces_present"] == 1
+        assert plan["pending_points"] == len(points)
+        assert plan["exact_trainings_needed"] == 1
+        assert plan["replays_needed"] == len(points) - 1
+
+    def test_plan_runs_nothing(self, tmp_path):
+        from repro.sweep.orchestrator import plan_sweep
+
+        plan_sweep(SMOKE_POINTS(), out_dir=tmp_path)
+        assert list(tmp_path.iterdir()) == []
+        assert plan_sweep(SMOKE_POINTS())["out_dir"] is None
 
 
 def test_smoke_sweep_is_deterministic_across_invocations(tmp_path):
