@@ -1,0 +1,143 @@
+"""Figure R acceptance run: the cost-of-reliability curves, benched.
+
+Runs the full ``figR`` grid (FaaS-with-checkpoints vs
+IaaS-restart-from-scratch over crash rates, plus the storage-retry
+series) through a ``substrate="auto"`` sweep, verifies the fault-plane
+invariants on real workload scale —
+
+* exactly one trace recorded for the whole grid (fault axes and the
+  FaaS/IaaS split are all systems axes),
+* every artifact reports the same final loss,
+* overheads grow monotonically with the crash rate per series —
+
+and writes the measured curves into the ``reliability`` section of
+``BENCH_sweep.json``::
+
+    PYTHONPATH=src python benchmarks/bench_figR_reliability.py [--dry]
+
+``--dry`` prints the record without touching BENCH_sweep.json.
+"""
+
+from __future__ import annotations
+
+import os
+
+# Pin BLAS to one thread *before* numpy loads (same rationale as
+# repro.cli): artifact hashes and loss floats must not depend on the
+# host's BLAS threading.
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__ as repro_version
+from repro.experiments import figR_reliability
+from repro.sweep.orchestrator import run_sweep
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def measure() -> dict:
+    points = figR_reliability.sweep_points()
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        run = run_sweep(points, out_dir=tmp, substrate="auto")
+    wall = time.perf_counter() - t0
+
+    problems = []
+    if run.stat_groups != 1 or run.recorded != 1:
+        problems.append(
+            f"expected 1 stat fingerprint / 1 recording, got "
+            f"{run.stat_groups}/{run.recorded}"
+        )
+    losses = {a["result"]["final_loss"] for a in run.artifacts}
+    if len(losses) != 1:
+        problems.append(f"final losses diverged across fault points: {losses}")
+
+    curves = figR_reliability.aggregate(run.artifacts)
+    series = {}
+    for curve in curves:
+        rows = []
+        for p in sorted(
+            curve.points, key=lambda p: (p.crash_rate, p.storage_error_rate)
+        ):
+            rows.append(
+                {
+                    "crash_rate_per_hour": p.crash_rate,
+                    "storage_error_rate": p.storage_error_rate,
+                    "runtime_s": round(p.runtime_s, 3),
+                    "cost_dollars": round(p.cost, 6),
+                    "overhead_s": round(p.overhead_s, 3),
+                    "overhead_dollars": round(p.overhead_cost, 6),
+                    "crashes": p.events.get("crashes", 0),
+                    "restarts": p.events.get("restarts", 0),
+                    "reincarnations": p.events.get("reincarnations", 0),
+                    "storage_retries": p.events.get("storage_retries", 0),
+                }
+            )
+        # Faults can only add time: overhead is zero at the fault-free
+        # point, never negative, and largest at the top fault rate.
+        # (Strict monotonicity is NOT expected at low crash rates: a
+        # lone crash landing just before a round boundary costs a full
+        # redo, one landing just after costs almost nothing.)
+        overheads = [r["overhead_s"] for r in rows]
+        for row in rows:
+            zero_fault = (
+                row["crash_rate_per_hour"] == 0 and row["storage_error_rate"] == 0
+            )
+            if zero_fault and row["overhead_s"] != 0.0:
+                problems.append(f"{curve.series}: nonzero baseline overhead")
+        if overheads and (min(overheads) < 0 or overheads[-1] != max(overheads)):
+            problems.append(f"{curve.series}: implausible overheads: {overheads}")
+        series[curve.series] = rows
+
+    if problems:
+        print("figR acceptance failed:", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        raise SystemExit(1)
+
+    return {
+        "note": (
+            "cost of reliability on the Table-4 LR/Higgs workload (W=10): "
+            "runtime/cost overhead vs crash rate for FaaS with per-round "
+            "checkpoints vs IaaS restart-from-scratch, plus FaaS transient "
+            "storage errors under retry/backoff. One statistical "
+            "fingerprint serves the whole grid: substrate=auto recorded a "
+            "single trace and replayed every fault point."
+        ),
+        "command": "PYTHONPATH=src python benchmarks/bench_figR_reliability.py",
+        "points": len(run.artifacts),
+        "unique_stat_fingerprints": run.stat_groups,
+        "traces_recorded": run.recorded,
+        "replayed_points": run.replayed,
+        "sweep_wall_seconds": round(wall, 3),
+        "series": series,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dry", action="store_true",
+                        help="print the record; do not update BENCH_sweep.json")
+    args = parser.parse_args(argv)
+
+    record = measure()
+    print(json.dumps(record, indent=1))
+    if args.dry:
+        return 0
+    baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+    baseline["reliability"] = record
+    baseline["engine_version"] = repro_version
+    BASELINE.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n")
+    print(f"updated {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,12 @@ _SWEEP_SUBSTRATE_KEYS = {"points", "unique_stat_fingerprints", "exact_trainings"
                          "exact_point_wall_seconds_mean",
                          "replay_point_wall_seconds_mean",
                          "artifacts_bit_identical"}
+_SWEEP_RELIABILITY_KEYS = {"points", "unique_stat_fingerprints",
+                           "traces_recorded", "replayed_points", "series"}
+_RELIABILITY_ROW_KEYS = {"crash_rate_per_hour", "storage_error_rate",
+                         "runtime_s", "cost_dollars", "overhead_s",
+                         "overhead_dollars", "crashes"}
+_RELIABILITY_SERIES = {"faas-crash", "iaas-crash", "faas-storage"}
 
 
 def check_sweep_baseline(path: Path) -> list[str]:
@@ -95,6 +101,59 @@ def check_sweep_baseline(path: Path) -> list[str]:
                 f"{path.name}: 'substrate' records non-identical replay "
                 "artifacts — the recorded run was invalid"
             )
+    problems.extend(_check_reliability_section(path, baseline.get("reliability")))
+    return problems
+
+
+def _check_reliability_section(path: Path, reliability) -> list[str]:
+    """Shape-validate the figR cost-of-reliability record."""
+    if reliability is None:  # optional until the figR bench has run
+        return []
+    if not isinstance(reliability, dict):
+        return [f"{path.name}: 'reliability' must be an object"]
+    problems = []
+    missing = _SWEEP_RELIABILITY_KEYS - reliability.keys()
+    if missing:
+        problems.append(
+            f"{path.name}: 'reliability' section missing {sorted(missing)}"
+        )
+        return problems
+    if reliability["unique_stat_fingerprints"] != 1:
+        problems.append(
+            f"{path.name}: reliability grid must share ONE statistical "
+            f"fingerprint (fault axes are systems axes), recorded "
+            f"{reliability['unique_stat_fingerprints']}"
+        )
+    if reliability["traces_recorded"] != 1:
+        problems.append(
+            f"{path.name}: reliability sweep should record exactly 1 trace, "
+            f"recorded {reliability['traces_recorded']}"
+        )
+    series = reliability["series"]
+    if not isinstance(series, dict) or not series:
+        problems.append(f"{path.name}: reliability 'series' must be non-empty")
+        return problems
+    unknown = series.keys() - _RELIABILITY_SERIES
+    if unknown:
+        problems.append(f"{path.name}: unknown reliability series {sorted(unknown)}")
+    for name, rows in series.items():
+        if not isinstance(rows, list) or not rows:
+            problems.append(f"{path.name}: reliability series {name} is empty")
+            continue
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                problems.append(f"{path.name}: {name}[{i}] is not an object")
+                continue
+            missing = _RELIABILITY_ROW_KEYS - row.keys()
+            if missing:
+                problems.append(
+                    f"{path.name}: {name}[{i}] missing {sorted(missing)}"
+                )
+            elif row["overhead_s"] < 0:
+                problems.append(
+                    f"{path.name}: {name}[{i}] has negative overhead "
+                    f"({row['overhead_s']}s) — faults cannot speed a run up"
+                )
     return problems
 
 

@@ -21,6 +21,6 @@ from repro.core.config import TrainingConfig
 from repro.core.driver import train
 from repro.core.results import RunResult
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["TrainingConfig", "train", "RunResult", "__version__"]

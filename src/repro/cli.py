@@ -60,6 +60,20 @@ def _add_train_parser(subparsers) -> None:
     p.add_argument("--loss-threshold", type=float, default=None)
     p.add_argument("--max-epochs", type=float, default=40.0)
     p.add_argument("--seed", type=int, default=20210620)
+    # Fault plane (repro.faults): deterministic crash / storage-error
+    # injection. Crash knobs require BSP on FaaS or IaaS.
+    p.add_argument("--crash-rate", type=float, default=0.0,
+                   help="expected crashes per worker per simulated hour")
+    p.add_argument("--mttf-s", type=float, default=None,
+                   help="mean time to failure per worker (overrides --crash-rate)")
+    p.add_argument("--storage-error-rate", type=float, default=0.0,
+                   help="probability a storage put/get transiently fails")
+    p.add_argument("--storage-retry-limit", type=int, default=5,
+                   help="retries before a flaky storage op gives up")
+    p.add_argument("--storage-retry-base-s", type=float, default=0.1,
+                   help="first exponential-backoff gap between retries")
+    p.add_argument("--cold-start-jitter", type=float, default=0.0,
+                   help="relative spread of re-invocation cold starts")
 
 
 def _run_train(args: argparse.Namespace) -> int:
@@ -80,6 +94,12 @@ def _run_train(args: argparse.Namespace) -> int:
         loss_threshold=args.loss_threshold,
         max_epochs=args.max_epochs,
         seed=args.seed,
+        crash_rate=args.crash_rate,
+        mttf_s=args.mttf_s,
+        storage_error_rate=args.storage_error_rate,
+        storage_retry_limit=args.storage_retry_limit,
+        storage_retry_base_s=args.storage_retry_base_s,
+        cold_start_jitter=args.cold_start_jitter,
     )
     result = train(config)
     print(result.summary())
@@ -89,6 +109,10 @@ def _run_train(args: argparse.Namespace) -> int:
     print("\ncost breakdown ($):")
     for component, dollars in sorted(result.cost_breakdown.items()):
         print(f"  {component:<12} {dollars:10.4f}")
+    if config.faults_enabled:
+        print("\nreliability events:")
+        for name, value in sorted(result.events.items()):
+            print(f"  {name:<24} {value}")
     return 0 if (result.converged or config.loss_threshold is None) else 1
 
 

@@ -57,6 +57,8 @@ def _arm_gc(store: ObjectStore, key: str, readers: int) -> None:
     a round id on the same store starts from a fresh count instead of
     inheriting a stale, partially decremented one from an aborted run.
     """
+    if not store.gc_enabled:
+        return  # crash-injected run: round files are retained for replay
     counts = _PENDING_READS.get(store)
     if counts is None:
         counts = {}

@@ -17,11 +17,23 @@ The loss exchange costs one extra metadata-sized round per epoch
 (negligible next to the model-sized exchanges), and removes any lag
 between reaching the threshold and stopping — important for ADMM,
 whose rounds span ten epochs.
+
+Fault recovery enters through two seams. The ``pre_round`` hook runs
+at every round boundary with the loop's full :class:`RoundState` —
+atomically with the loss record that may precede the boundary, since
+no command is yielded in between — which is where the FaaS executor
+persists its recovery checkpoint. A respawned incarnation then passes
+that state back via ``resume``: the loop skips the baseline
+evaluation (its record survived the crash) and continues from the
+checkpointed round, with the substrate restored so the re-executed
+statistics are bit-identical to what the dead incarnation would have
+computed.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Callable, Generator
 
 import numpy as np
@@ -32,13 +44,24 @@ from repro.simulation.commands import Compute
 EPS = 1e-9
 LOSS_WIRE_BYTES = 16
 
+
+@dataclass(frozen=True)
+class RoundState:
+    """The BSP loop's position at a round boundary (picklable)."""
+
+    epoch_float: float
+    rounds: int
+    local_loss: float
+    global_loss: float
+
+
 # An exchange callback receives (round_id, wire_vector, logical_nbytes)
 # and is itself a generator yielding simulation commands, returning the
 # merged vector.
 ExchangeFn = Callable[[str, np.ndarray, int], Generator]
-# Optional hook run before each round (FaaS uses it for the Figure-5
-# lifetime check); receives (epoch_float, round_index, last_loss).
-PreRoundHook = Callable[[float, int, float], Generator]
+# Optional hook run before each round with the loop's RoundState (FaaS
+# uses it for the Figure-5 lifetime check and recovery checkpoints).
+PreRoundHook = Callable[[RoundState], Generator]
 
 
 def bsp_rounds(
@@ -46,22 +69,33 @@ def bsp_rounds(
     rank: int,
     exchange: ExchangeFn,
     pre_round: PreRoundHook | None = None,
+    resume: RoundState | None = None,
 ):
     """Generator running BSP rounds to convergence; returns WorkerOutcome."""
     cfg = ctx.config
     algo = ctx.stats(rank)  # substrate view: exact, recording, or replay
 
-    # Baseline evaluation (loss at initialisation).
-    yield Compute(ctx.eval_seconds(rank), "compute")
-    local_loss = algo.local_loss()
-    ctx.record(rank, 0.0, local_loss)
+    if resume is None:
+        # Baseline evaluation (loss at initialisation).
+        yield Compute(ctx.eval_seconds(rank), "compute")
+        local_loss = algo.local_loss()
+        ctx.record(rank, 0.0, local_loss)
+        epoch_float = 0.0
+        rounds = 0
+        global_loss = local_loss
+    else:
+        # Recovered incarnation: the baseline (and every record up to
+        # the checkpoint) is already in the history; pick up mid-run.
+        epoch_float = resume.epoch_float
+        rounds = resume.rounds
+        local_loss = resume.local_loss
+        global_loss = resume.global_loss
 
-    epoch_float = 0.0
-    rounds = 0
-    global_loss = local_loss
     while epoch_float < cfg.max_epochs:
         if pre_round is not None:
-            yield from pre_round(epoch_float, rounds, local_loss)
+            yield from pre_round(
+                RoundState(epoch_float, rounds, local_loss, global_loss)
+            )
 
         payload = algo.round_payload()
         yield Compute(ctx.round_seconds(rank), "compute")

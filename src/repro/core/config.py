@@ -60,7 +60,14 @@ ANGEL_COMPUTE_FACTOR = 1.56
 # lambda_lifetime_s, ps_instance, rpc, straggler_jitter — all of which
 # move simulated clocks and dollars but not a single merged float
 # (aggregation folds contributions in canonical rank order on every
-# pattern and platform; see repro.comm.patterns).
+# pattern and platform; see repro.comm.patterns). The fault axes
+# (crash_rate, mttf_s, storage_error_rate, storage_retry_limit,
+# storage_retry_base_s, cold_start_jitter) are likewise absent: BSP
+# crash recovery replays the identical statistical stream from the
+# last checkpoint and storage retries only stretch operations, so a
+# whole fault grid shares one statistical fingerprint — and one
+# recorded trace (pinned by tests/test_fault_injection.py's golden
+# invariance tests).
 STAT_FIELDS = (
     "model",
     "dataset",
@@ -142,6 +149,17 @@ class TrainingConfig:
     seed: int = DEFAULT_SEED
     straggler_jitter: float = 0.05  # relative speed spread across workers
 
+    # Fault plane (systems axes: they move clocks and dollars, never a
+    # merged float — see repro.faults). Crash faults kill worker
+    # processes mid-run: FaaS workers then checkpoint every round and
+    # recover; IaaS jobs restart from scratch.
+    crash_rate: float = 0.0  # expected crashes per worker per sim hour
+    mttf_s: float | None = None  # mean time to failure; overrides crash_rate
+    storage_error_rate: float = 0.0  # per-op transient failure probability
+    storage_retry_limit: int = 5  # retries before giving up on an op
+    storage_retry_base_s: float = 0.1  # first exponential-backoff gap
+    cold_start_jitter: float = 0.0  # relative spread of respawn cold starts
+
     # Derived (filled by __post_init__).
     platform: str = field(init=False)
 
@@ -161,6 +179,29 @@ class TrainingConfig:
             raise ConfigurationError(f"max_epochs must be > 0, got {self.max_epochs}")
         if self.straggler_jitter < 0:
             raise ConfigurationError("straggler_jitter must be >= 0")
+        if self.crash_rate < 0:
+            raise ConfigurationError("crash_rate must be >= 0")
+        if self.mttf_s is not None and self.mttf_s <= 0:
+            raise ConfigurationError(f"mttf_s must be > 0, got {self.mttf_s}")
+        if not 0.0 <= self.storage_error_rate < 1.0:
+            raise ConfigurationError(
+                f"storage_error_rate must be in [0, 1), got {self.storage_error_rate}"
+            )
+        if self.storage_retry_limit < 0:
+            raise ConfigurationError("storage_retry_limit must be >= 0")
+        if self.storage_retry_base_s < 0:
+            raise ConfigurationError("storage_retry_base_s must be >= 0")
+        if self.cold_start_jitter < 0:
+            raise ConfigurationError("cold_start_jitter must be >= 0")
+        if self.fault_mttf_s is not None and (
+            self.protocol != "bsp" or self.platform not in ("faas", "iaas")
+        ):
+            raise ConfigurationError(
+                "crash injection is defined for BSP FaaS/IaaS runs "
+                f"(got {self.protocol}/{self.platform}); ASP and hybrid-PS "
+                "trajectories are timing-coupled, so a crash would change "
+                "the statistics instead of only the clocks"
+            )
         get_spec(self.dataset)  # validates dataset name
 
         info = get_model_info(self.model, self.dataset, k=self.k, l2=self.l2)
@@ -178,6 +219,26 @@ class TrainingConfig:
             raise ConfigurationError("the asynchronous protocol is a FaaS design point")
         if self.protocol == "asp" and info.kind == "kmeans":
             raise ConfigurationError("asynchronous training is defined for SGD workloads")
+
+    # -- fault plane --------------------------------------------------------
+    @property
+    def fault_mttf_s(self) -> float | None:
+        """Effective mean time to failure per worker, or None.
+
+        ``mttf_s`` wins when set; otherwise ``crash_rate`` (crashes per
+        worker per simulated hour) is inverted. Both spellings exist so
+        sweeps can put either quantity on an axis.
+        """
+        if self.mttf_s is not None:
+            return self.mttf_s
+        if self.crash_rate > 0:
+            return 3600.0 / self.crash_rate
+        return None
+
+    @property
+    def faults_enabled(self) -> bool:
+        """Does this run need the fault plane at all?"""
+        return self.fault_mttf_s is not None or self.storage_error_rate > 0
 
     # -- statistical identity ---------------------------------------------
     @property

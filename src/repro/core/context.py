@@ -33,6 +33,8 @@ from repro.data.loader import Shard
 from repro.errors import ConfigurationError, OutOfMemoryError
 from repro.faas.limits import LambdaLimits, lambda_speed_factor
 from repro.faas.runtime import FunctionLifetime, faas_startup_seconds
+from repro.faults.plan import FaultPlan, StorageFaultPolicy
+from repro.faults.retry import RetryPolicy
 from repro.iaas.cluster import VMCluster
 from repro.iaas.mpi import MPICommunicator
 from repro.iaas.ps import ParameterServer, make_parameter_server
@@ -79,8 +81,25 @@ class JobContext:
         self.shards: list[Shard] = self.substrate.shards
         self.algorithms: list[DistributedAlgorithm] = self.substrate.algorithms
 
+        # The fault plane: a pure, seeded schedule of crashes, cold
+        # starts and transient storage errors (repro.faults). The plan
+        # always exists (cheap, empty when all rates are zero); the
+        # injector is installed by the driver only when crashes are on.
+        self.fault_plan = FaultPlan(
+            seed=config.seed,
+            mttf_s=config.fault_mttf_s,
+            storage_error_rate=config.storage_error_rate,
+            cold_start_jitter=config.cold_start_jitter,
+            retry=RetryPolicy(
+                limit=config.storage_retry_limit,
+                base_s=config.storage_retry_base_s,
+            ),
+        )
+        self.fault_injector = None
+
         # Training data is staged in S3 for every platform (paper §5.1).
         self.data_store = S3Store(meter=self.meter)
+        self._wire_store_faults(self.data_store, "data")
         for rank in range(config.workers):
             self.data_store.seed_object(
                 self.partition_key(rank),
@@ -99,10 +118,38 @@ class JobContext:
 
         # Shared observability (pure bookkeeping, no simulated effects).
         self.history: list[LossPoint] = []
+        self.record_counts: dict[int, int] = {}  # per-rank history entries
         self.checkpoint_count = 0
         self.extra_invocations = 0
 
+        # Worker process registry: `worker_procs[rank]` is the rank's
+        # *current* incarnation (the injector swaps it on respawn);
+        # `all_worker_procs` keeps every incarnation for billing.
+        self.worker_procs: dict[int, object] = {}
+        self.all_worker_procs: list = []
+        # One authoritative invocation counter per rank, shared by
+        # Figure-5 lifetime reinvocations AND crash respawns: both
+        # index the same cold/{rank} jitter stream, so a single
+        # counter keeps every draw distinct (and documents how many
+        # function invocations the rank consumed).
+        self._invocations: dict[int, int] = {}
+
         self._speed_cache: dict[int, float] = {}
+
+    def next_invocation(self, rank: int) -> int:
+        """Claim the next invocation number for `rank` (initial run = 1)."""
+        count = self._invocations.get(rank, 1) + 1
+        self._invocations[rank] = count
+        return count
+
+    def _wire_store_faults(self, store, label: str) -> None:
+        """Attach the run's fault policy/GC mode to a storage service."""
+        if self.fault_plan.storage_faults_enabled:
+            store.fault_policy = StorageFaultPolicy(self.fault_plan, label)
+        if self.fault_plan.crashes_enabled:
+            # Respawned workers re-read round files their predecessor
+            # consumed; last-reader GC would make that a deadlock.
+            store.gc_enabled = False
 
     # ------------------------------------------------------------------
     # Infrastructure setup (called by the driver)
@@ -113,6 +160,7 @@ class JobContext:
         )
         if self.config.channel_prestarted:
             self.channel.store.available_at = 0.0
+        self._wire_store_faults(self.channel.store, "channel")
         self.startup_s = faas_startup_seconds(self.config.workers)
         self._check_faas_memory()
 
@@ -264,6 +312,37 @@ class JobContext:
         self.history.append(
             LossPoint(time_s=self.engine.now, epoch=epoch, loss=loss, worker=rank)
         )
+        # Per-rank counts let the fault injector roll back exactly the
+        # records a dead incarnation made past its last checkpoint.
+        self.record_counts[rank] = self.record_counts.get(rank, 0) + 1
+
+    def fault_events(self) -> dict:
+        """Structured reliability summary (RunResult.meta / artifacts)."""
+        events = {
+            "checkpoints": self.checkpoint_count,
+            "lifetime_reinvocations": self.extra_invocations,
+            "crashes": 0,
+            "reincarnations": 0,
+            "restarts": 0,
+            "recovery_checkpoints": 0,
+            "storage_errors": 0,
+            "storage_retries": 0,
+            "storage_backoff_s": 0.0,
+        }
+        if self.fault_injector is not None:
+            injected = self.fault_injector.events()
+            events["crashes"] = injected["crashes"]
+            events["reincarnations"] = injected["reincarnations"]
+            events["restarts"] = injected["restarts"]
+            events["recovery_checkpoints"] = injected["recovery_checkpoints"]
+        stores = [self.data_store]
+        if self.channel is not None:
+            stores.append(self.channel.store)
+        for store in stores:
+            events["storage_errors"] += store.fault_events["storage_errors"]
+            events["storage_retries"] += store.fault_events["retries"]
+            events["storage_backoff_s"] += store.fault_events["backoff_s"]
+        return events
 
     def converged(self, loss: float) -> bool:
         threshold = self.config.loss_threshold

@@ -19,6 +19,7 @@ from repro.core.executor_hybrid import hybrid_worker
 from repro.core.executor_iaas import iaas_worker
 from repro.core.results import RunResult
 from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
 from repro.simulation.tracing import TimeBreakdown
 
 
@@ -36,23 +37,29 @@ def train(config: TrainingConfig, substrate=None) -> RunResult:
     ctx = JobContext(config, substrate=substrate)
     executor = _setup_platform(ctx)
 
-    procs = [
-        ctx.engine.spawn(executor(ctx, rank), name=f"worker-{rank}")
-        for rank in range(config.workers)
-    ]
+    for rank in range(config.workers):
+        proc = ctx.engine.spawn(executor(ctx, rank), name=f"worker-{rank}")
+        ctx.worker_procs[rank] = proc
+        ctx.all_worker_procs.append(proc)
+    if ctx.fault_plan.crashes_enabled:
+        ctx.fault_injector = FaultInjector(ctx.fault_plan)
+        ctx.fault_injector.install(ctx, executor)
     ctx.engine.run()
 
     duration = ctx.engine.now
-    _bill_job(ctx, procs, duration)
+    _bill_job(ctx, ctx.all_worker_procs, duration)
 
-    outcomes = [p.result for p in procs if isinstance(p.result, WorkerOutcome)]
+    # Outcomes come from each rank's *final* incarnation; earlier ones
+    # were killed by the fault injector and return nothing.
+    final_procs = [ctx.worker_procs[rank] for rank in range(config.workers)]
+    outcomes = [p.result for p in final_procs if isinstance(p.result, WorkerOutcome)]
     if not outcomes:
         raise ConfigurationError("no worker produced an outcome")
     final_loss = float(np.median([o.final_loss for o in outcomes]))
     epochs = max(o.epochs for o in outcomes)
     rounds = max(o.rounds for o in outcomes)
 
-    traces = [p.trace for p in procs]
+    traces = _per_rank_traces(ctx)
     result = RunResult(
         config=config,
         converged=ctx.converged(final_loss),
@@ -67,9 +74,36 @@ def train(config: TrainingConfig, substrate=None) -> RunResult:
         per_worker=traces,
         checkpoints=ctx.checkpoint_count,
         final_accuracy=ctx.substrate.final_accuracy(ctx),
+        meta={"events": ctx.fault_events()},
     )
     ctx.substrate.finalize(ctx, result, outcomes)
     return result
+
+
+def _per_rank_traces(ctx: JobContext) -> list[TimeBreakdown]:
+    """One TimeBreakdown per rank, folding in killed incarnations.
+
+    A fault-free run has exactly one process per rank, whose trace is
+    returned as-is (bit-identical to the pre-fault-plane driver). Under
+    crash injection a rank's simulated time is split across
+    incarnations; summing the categories keeps ``per_worker`` rank-
+    shaped and makes the recovery overhead visible in the breakdown.
+    """
+    workers = ctx.config.workers
+    if len(ctx.all_worker_procs) == workers:
+        return [proc.trace for proc in ctx.all_worker_procs]
+    by_rank: list[list] = [[] for _ in range(workers)]
+    for proc in ctx.all_worker_procs:
+        rank = int(proc.name.split("-", 1)[1].split("#", 1)[0])
+        by_rank[rank].append(proc.trace)
+    merged = []
+    for traces in by_rank:
+        combined = TimeBreakdown()
+        for trace in traces:
+            for category, seconds in trace.seconds.items():
+                combined.add(category, seconds)
+        merged.append(combined)
+    return merged
 
 
 def _setup_platform(ctx: JobContext):

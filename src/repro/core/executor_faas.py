@@ -5,6 +5,15 @@ compute statistics, send statistics, aggregate, update, repeat — with
 the Figure-5 lifetime monitor checkpointing to S3 and re-invoking when
 the 15-minute wall approaches.
 
+Under crash injection (``TrainingConfig.crash_rate`` / ``mttf_s``) the
+same Figure-5 machinery turns into *recovery* checkpointing: every
+round boundary persists a checkpoint to S3, and a killed worker's
+successor incarnation (spawned by :class:`~repro.faults.injector.
+FaultInjector` with a :class:`~repro.faults.injector.WorkerResume`)
+pays a cold start, re-loads its partition and checkpoint, restores the
+substrate snapshot, and resumes the BSP loop mid-run — replaying the
+identical statistical stream, so only clocks and dollars move.
+
 The asynchronous loop follows SIREN-style S-ASP (§3.2.4): a single
 global model lives in the channel; workers read-modify-write it per
 iteration with no coordination, decaying the learning rate 1/sqrt(T).
@@ -22,28 +31,60 @@ from repro.comm.protocols import (
     async_signal_stop,
     async_write_model,
 )
-from repro.core.bsp_loop import bsp_rounds
+from repro.core.bsp_loop import RoundState, bsp_rounds
 from repro.core.context import JobContext, WorkerOutcome
 from repro.errors import FunctionTimeoutError
 from repro.faas.checkpoint import Checkpoint, checkpoint_bytes
 from repro.faas.runtime import REINVOKE_OVERHEAD_S, FunctionLifetime
+from repro.faults.injector import WorkerResume
 from repro.simulation.commands import Compute, Get, Put, Sleep
 from repro.utils.serialization import SizedPayload
 
 
-def faas_bsp_worker(ctx: JobContext, rank: int):
-    """Synchronous LambdaML worker (generator for the engine)."""
-    yield Sleep(ctx.startup_s, "startup")
+def faas_bsp_worker(ctx: JobContext, rank: int, resume: WorkerResume | None = None):
+    """Synchronous LambdaML worker (generator for the engine).
+
+    ``resume`` is only ever passed by the fault injector: it marks this
+    generator as the successor of a crashed incarnation, carrying the
+    cold-start latency, the substrate snapshot to restore, and the
+    round boundary to continue from (``None`` when the predecessor died
+    before its first durable checkpoint — then everything restarts, but
+    on the restored initial statistical state).
+    """
+    injector = ctx.fault_injector
+    if resume is None:
+        yield Sleep(ctx.startup_s, "startup")
+    else:
+        yield Sleep(resume.cold_start_s, "startup")
     lifetime = FunctionLifetime(ctx.limits, ctx.engine.now)
+    if resume is not None:
+        lifetime.incarnations = resume.incarnation
     ctx.lifetimes[rank] = lifetime
     yield Get(ctx.data_store, ctx.partition_key(rank), category="load")
+
+    round_state: RoundState | None = None
+    if resume is not None:
+        ctx.substrate.restore_rank(rank, resume.snapshot)
+        if resume.round_state is not None:
+            # State reload: fetch the checkpoint the predecessor wrote.
+            yield Get(ctx.data_store, Checkpoint.key_for(rank), category="checkpoint")
+            round_state = resume.round_state
 
     def exchange(round_id: str, wire: np.ndarray, nbytes: int):
         merged = yield from ctx.exchange(rank, round_id, wire, nbytes=nbytes)
         return merged
 
-    def pre_round(epoch_float: float, rounds: int, local_loss: float):
-        """Figure-5 lifetime monitoring at every round boundary."""
+    def pre_round(state: RoundState):
+        """Round-boundary bookkeeping: recovery checkpoint + Figure 5."""
+        if injector is not None and injector.should_checkpoint(rank, state.rounds):
+            # Persist a recovery checkpoint *before* the round so a
+            # crash anywhere inside it resumes from this boundary. The
+            # in-memory snapshot is saved only after the Put completes:
+            # a checkpoint is recoverable once durable, not before.
+            yield from write_checkpoint(
+                ctx, rank, state.epoch_float, state.rounds, state.local_loss
+            )
+            injector.save_recovery(rank, state, ctx.substrate.snapshot_rank(rank))
         round_estimate = ctx.round_seconds(rank)
         if round_estimate > ctx.limits.lifetime_s - ctx.limits.checkpoint_margin_s:
             raise FunctionTimeoutError(
@@ -53,12 +94,31 @@ def faas_bsp_worker(ctx: JobContext, rank: int):
             )
         if lifetime.needs_checkpoint(ctx.engine.now, round_estimate):
             yield from checkpoint_and_reinvoke(
-                ctx, rank, ctx.stats(rank), epoch_float, rounds, local_loss
+                ctx, rank, ctx.stats(rank), state.epoch_float, state.rounds,
+                state.local_loss,
             )
             lifetime.reincarnate(ctx.engine.now)
 
-    outcome = yield from bsp_rounds(ctx, rank, exchange, pre_round=pre_round)
+    outcome = yield from bsp_rounds(
+        ctx, rank, exchange, pre_round=pre_round, resume=round_state
+    )
     return outcome
+
+
+def write_checkpoint(
+    ctx: JobContext, rank: int, epoch_float: float, rounds: int, local_loss: float
+):
+    """Persist one recovery checkpoint to the data store (simulated)."""
+    state = Checkpoint(
+        rank=rank,
+        epoch_float=epoch_float,
+        round_index=rounds,
+        params=ctx.stats(rank).params.copy(),
+        last_local_loss=local_loss,
+    )
+    nbytes = checkpoint_bytes(ctx.info.param_bytes)
+    yield Put(ctx.data_store, state.key(), SizedPayload(state, nbytes), category="checkpoint")
+    ctx.checkpoint_count += 1
 
 
 def checkpoint_and_reinvoke(
@@ -74,8 +134,15 @@ def checkpoint_and_reinvoke(
     )
     nbytes = checkpoint_bytes(ctx.info.param_bytes)
     yield Put(ctx.data_store, state.key(), SizedPayload(state, nbytes), category="checkpoint")
-    # Cold start of the successor function plus reloading the checkpoint.
-    yield Sleep(REINVOKE_OVERHEAD_S, "checkpoint")
+    # Cold start of the successor function plus reloading the
+    # checkpoint; the fault plan's deterministic jitter widens the cold
+    # start when the config asks for variance (cold_start_jitter > 0).
+    # The invocation number comes from the context's shared counter so
+    # lifetime reinvocations and crash respawns never reuse a draw.
+    cold = ctx.fault_plan.cold_start_s(
+        rank, ctx.next_invocation(rank), REINVOKE_OVERHEAD_S
+    )
+    yield Sleep(cold, "checkpoint")
     yield Get(ctx.data_store, state.key(), category="checkpoint")
     ctx.checkpoint_count += 1
     ctx.extra_invocations += 1

@@ -41,6 +41,16 @@ class RunResult:
     per_worker: list[TimeBreakdown] = field(default_factory=list)
     checkpoints: int = 0
     final_accuracy: float | None = None
+    # Structured event-log summary: reliability counters (checkpoints
+    # taken, crashes injected, reincarnations/restarts, storage errors
+    # and retries, backoff seconds) under the "events" key. Counts of
+    # *simulated* events — deterministic, persisted inside artifacts'
+    # result section so sweeps record the reliability story per point.
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def events(self) -> dict:
+        return self.meta.get("events", {})
 
     @property
     def startup_s(self) -> float:

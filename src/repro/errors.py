@@ -42,6 +42,10 @@ class ServiceNotStartedError(StorageError):
     """The storage service has not finished its startup (e.g. ElastiCache)."""
 
 
+class TransientStorageError(StorageError):
+    """A storage operation kept failing past the retry policy's budget."""
+
+
 class FaaSError(ReproError):
     """Base class for simulated FaaS (Lambda) failures."""
 
@@ -72,6 +76,10 @@ class CommunicationError(ReproError):
 
 class ConvergenceError(ReproError):
     """Training failed to reach the requested loss threshold in budget."""
+
+
+class FaultInjectionError(ReproError):
+    """The fault plane cannot inject faults into this configuration."""
 
 
 class SubstrateError(ReproError):

@@ -1,0 +1,200 @@
+"""Figure R: the cost of reliability — overhead vs crash rate.
+
+This experiment is not in the paper; it extends its FaaS-vs-IaaS
+argument to the axis the follow-ups (MLLess, SMLT) showed is
+first-order: what does surviving failures *cost*? Two recovery
+disciplines run over the same crash-rate grid on the Table-4 LR/Higgs
+workload:
+
+* **FaaS + per-round checkpoints (LambdaML)** — every round boundary
+  writes a checkpoint to S3; a crashed function's successor pays a
+  cold start, a data/ checkpoint reload, and re-executes at most one
+  round. Overhead grows smoothly with the crash rate.
+* **IaaS restart-from-scratch (distributed PyTorch)** — no
+  checkpoints: any worker crash restarts the whole job. Cheap at rate
+  zero, catastrophic as the MTTF approaches the job duration.
+
+A third series sweeps the transient storage-error rate (FaaS only):
+failed puts/gets retry under exponential backoff, billed per attempt.
+
+Every point shares one statistical fingerprint — crash and retry axes
+are systems axes — so a ``--substrate auto`` sweep records *one* exact
+trace and replays the entire grid in milliseconds per point. Each
+artifact's ``result.events`` carries the reliability story (crashes,
+reincarnations/restarts, checkpoints, retries).
+
+``aggregate()`` reduces artifacts to per-series curves of runtime/cost
+overhead relative to that series' fault-free baseline point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.report import format_table
+from repro.experiments.workloads import get_workload
+from repro.sweep.grid import SweepPoint, expand_grid
+from repro.sweep.orchestrator import run_sweep
+
+# Crashes per worker per simulated hour. An LR/Higgs job at W=10 runs
+# a few simulated minutes, so the top FaaS rates put several crashes
+# inside one run. The IaaS grid stops earlier by design: with no
+# checkpoints, an attempt only succeeds if *no* worker crashes for the
+# whole job — survival decays as exp(-D*w/mttf), so rates that are
+# routine for checkpointed FaaS push an IaaS job into hundreds of
+# simulated restarts. That asymmetry IS the figure.
+FAAS_CRASH_RATES = (0.0, 2.0, 4.0, 8.0, 16.0, 30.0, 60.0)
+IAAS_CRASH_RATES = (0.0, 1.0, 2.0, 4.0, 8.0)
+# Per-operation transient failure probabilities for the retry series.
+STORAGE_ERROR_RATES = (0.0, 0.002, 0.01, 0.05)
+WORKERS = 10
+
+
+@dataclass
+class ReliabilityPoint:
+    series: str
+    crash_rate: float
+    storage_error_rate: float
+    runtime_s: float
+    cost: float
+    overhead_s: float  # vs the series' zero-fault baseline
+    overhead_cost: float
+    events: dict
+
+
+@dataclass
+class ReliabilityCurve:
+    series: str  # faas-crash | iaas-crash | faas-storage
+    points: list[ReliabilityPoint] = field(default_factory=list)
+
+
+def sweep_points(
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+    crash_rates=FAAS_CRASH_RATES,
+    iaas_crash_rates=IAAS_CRASH_RATES,
+    storage_error_rates=STORAGE_ERROR_RATES,
+    workers: int = WORKERS,
+) -> list[SweepPoint]:
+    """Declarative grid for the cost-of-reliability curves."""
+    workload = get_workload("lr", "higgs")
+    base = dict(
+        model="lr", dataset="higgs", algorithm="admm",
+        workers=workers, batch_size=workload.batch_size, lr=workload.lr,
+        loss_threshold=workload.threshold,
+        max_epochs=max_epochs or workload.max_epochs, seed=seed,
+    )
+    points = [
+        SweepPoint(
+            "figR", f"faas,crash_rate={kw['crash_rate']:g}/h",
+            config_kwargs=kw,
+            tags={"series": "faas-crash", "system": "faas"},
+        )
+        for kw in expand_grid(
+            dict(base, system="lambdaml", channel="s3"),
+            {"crash_rate": crash_rates},
+        )
+    ]
+    points += [
+        SweepPoint(
+            "figR", f"iaas,crash_rate={kw['crash_rate']:g}/h",
+            config_kwargs=kw,
+            tags={"series": "iaas-crash", "system": "iaas"},
+        )
+        for kw in expand_grid(
+            dict(base, system="pytorch"), {"crash_rate": iaas_crash_rates}
+        )
+    ]
+    points += [
+        SweepPoint(
+            "figR", f"faas,storage_error_rate={kw['storage_error_rate']:g}",
+            config_kwargs=kw,
+            tags={"series": "faas-storage", "system": "faas"},
+        )
+        for kw in expand_grid(
+            dict(base, system="lambdaml", channel="s3"),
+            {"storage_error_rate": storage_error_rates},
+        )
+        if kw["storage_error_rate"] > 0  # rate 0 already in faas-crash
+    ]
+    return points
+
+
+def aggregate(artifacts: list[dict]) -> list[ReliabilityCurve]:
+    """Rebuild the reliability curves from per-point sweep artifacts."""
+    curves: dict[str, ReliabilityCurve] = {}
+    for artifact in artifacts:
+        series = artifact["tags"]["series"]
+        curve = curves.setdefault(series, ReliabilityCurve(series=series))
+        config = artifact["config"]
+        res = artifact["result"]
+        curve.points.append(
+            ReliabilityPoint(
+                series=series,
+                crash_rate=config["crash_rate"],
+                storage_error_rate=config["storage_error_rate"],
+                runtime_s=res["duration_s"],
+                cost=res["cost_total"],
+                overhead_s=0.0,
+                overhead_cost=0.0,
+                events=dict(res.get("events", {})),
+            )
+        )
+    # Overheads are relative to the series' fault-free point; the
+    # storage series borrows the faas-crash baseline (same config at
+    # zero rates).
+    baselines: dict[str, ReliabilityPoint] = {}
+    for curve in curves.values():
+        for point in curve.points:
+            if point.crash_rate == 0 and point.storage_error_rate == 0:
+                baselines[curve.series] = point
+    faas_base = baselines.get("faas-crash")
+    if faas_base is not None and "faas-storage" in curves:
+        baselines.setdefault("faas-storage", faas_base)
+    for curve in curves.values():
+        base = baselines.get(curve.series)
+        if base is None:
+            continue
+        for point in curve.points:
+            point.overhead_s = point.runtime_s - base.runtime_s
+            point.overhead_cost = point.cost - base.cost
+    return list(curves.values())
+
+
+def run_reliability(
+    max_epochs: float | None = None, seed: int = 20210620, substrate: str = "auto"
+) -> list[ReliabilityCurve]:
+    """Library entry point: run the grid, aggregate the curves."""
+    points = sweep_points(max_epochs=max_epochs, seed=seed)
+    return aggregate(run_sweep(points, substrate=substrate).artifacts)
+
+
+def format_report(curves: list[ReliabilityCurve]) -> str:
+    blocks = []
+    for curve in curves:
+        rows = [
+            [
+                (
+                    f"{p.crash_rate:g}/h"
+                    if curve.series != "faas-storage"
+                    else f"{p.storage_error_rate:g}"
+                ),
+                p.runtime_s,
+                p.cost,
+                p.overhead_s,
+                p.overhead_cost,
+                p.events.get("crashes", 0),
+                p.events.get("restarts", 0) or p.events.get("reincarnations", 0),
+                p.events.get("storage_retries", 0),
+            ]
+            for p in curve.points
+        ]
+        blocks.append(
+            format_table(
+                f"Figure R — cost of reliability, {curve.series}",
+                ["fault rate", "runtime(s)", "cost($)", "overhead(s)",
+                 "overhead($)", "crashes", "recoveries", "retries"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)

@@ -26,7 +26,12 @@ class Checkpoint:
     last_local_loss: float
 
     def key(self) -> str:
-        return f"ckpt/worker_{self.rank:05d}"
+        return self.key_for(self.rank)
+
+    @staticmethod
+    def key_for(rank: int) -> str:
+        """Storage key of worker `rank`'s checkpoint (latest wins)."""
+        return f"ckpt/worker_{rank:05d}"
 
 
 def checkpoint_bytes(logical_param_bytes: int) -> int:

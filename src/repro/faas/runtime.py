@@ -56,12 +56,24 @@ class FunctionLifetime:
         return self.limits.lifetime_s - (now - self.started_at)
 
     def needs_checkpoint(self, now: float, next_round_estimate_s: float = 0.0) -> bool:
-        """True when the next round may not fit in the remaining lifetime."""
+        """True when the next round may not fit in the remaining lifetime.
+
+        The comparison is inclusive: when the estimate plus the safety
+        margin exactly equals the remaining lifetime, the round would
+        finish at the instant AWS reclaims the function — the margin
+        exists precisely so that knife-edge never runs.
+        """
         margin = self.limits.checkpoint_margin_s + next_round_estimate_s
-        return self.remaining(now) < margin
+        return self.remaining(now) <= margin
 
     def ensure_alive(self, now: float) -> None:
-        if self.remaining(now) < 0:
+        """Raise if the function's lifetime is already spent.
+
+        Inclusive at zero: a function that has consumed exactly its
+        lifetime is terminated by the platform, not granted one more
+        instant.
+        """
+        if self.remaining(now) <= 0:
             raise FunctionTimeoutError(
                 f"function exceeded its {self.limits.lifetime_s:.0f}s lifetime "
                 f"(started at {self.started_at:.1f}s, now {now:.1f}s)"

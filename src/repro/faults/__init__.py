@@ -1,0 +1,32 @@
+"""Deterministic fault injection: crashes, cold starts, storage errors.
+
+The fault plane has three pieces, each owned by one module:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the seeded schedule.
+  Every fault is a pure function of ``(config.seed, rank, index)``;
+  nothing draws randomness at simulation time, so fault runs stay
+  content-addressed and bit-reproducible.
+* :mod:`repro.faults.retry` — :class:`RetryPolicy`, the exponential
+  backoff the storage layer applies to transient errors.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the engine-
+  side machinery that kills worker processes mid-generator and
+  respawns recovering incarnations (FaaS) or restarts the job from
+  scratch (IaaS).
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultInjector, WorkerResume
+from repro.faults.plan import FaultPlan, StorageFaultPolicy, unit_draw
+from repro.faults.retry import BACKOFF_FACTOR, MAX_BACKOFF_S, RetryPolicy
+
+__all__ = [
+    "BACKOFF_FACTOR",
+    "FaultInjector",
+    "FaultPlan",
+    "MAX_BACKOFF_S",
+    "RetryPolicy",
+    "StorageFaultPolicy",
+    "WorkerResume",
+    "unit_draw",
+]

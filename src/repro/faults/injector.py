@@ -1,0 +1,233 @@
+"""The fault injector: kills simulated workers and respawns successors.
+
+One :class:`FaultInjector` is installed per run (by the driver, only
+when the config's fault axes are non-trivial). It spawns *daemon*
+monitor processes on the engine — one per FaaS worker, one global one
+for an IaaS cluster — that sleep until the plan's next crash instant
+and then terminate the victim mid-generator with ``engine.kill``.
+
+Recovery follows the platform's real contract:
+
+* **FaaS (LambdaML)** — each worker checkpoints to S3 at every round
+  boundary (the Figure-5 machinery, now driven per-round instead of
+  only near the 15-minute wall). The successor incarnation pays a
+  cold start (with the plan's deterministic jitter), re-loads its data
+  partition and the checkpoint, restores the substrate's statistical
+  snapshot, and resumes the BSP loop from the checkpointed round.
+  Because the substrate snapshot carries *all* statistical state (RNG
+  streams included), the re-executed rounds reproduce the dead
+  incarnation's floats bit for bit — a faulted run's loss trajectory
+  is identical to the fault-free one; only clocks and dollars move.
+* **IaaS (distributed PyTorch)** — there is no checkpoint: a worker
+  crash kills the job and the cluster restarts training from scratch
+  (the restart-from-scratch baseline of the cost-of-reliability
+  comparison). The injector kills every worker, resets the collective
+  groups and the statistical state, clears the loss history, and
+  respawns the whole cohort.
+
+Loss records a dead incarnation made after its last durable checkpoint
+are rolled back before the successor starts, so every evaluation lands
+in ``RunResult.history`` exactly once with exactly the fault-free
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import FaultInjectionError
+from repro.faas.runtime import REINVOKE_OVERHEAD_S
+from repro.faults.plan import FaultPlan
+from repro.simulation.commands import Sleep
+
+if TYPE_CHECKING:  # pragma: no cover - core imports faults at runtime
+    from repro.core.bsp_loop import RoundState
+
+
+@dataclass(frozen=True)
+class WorkerResume:
+    """Everything a respawned FaaS incarnation needs to continue."""
+
+    incarnation: int  # 1-based; the initial invocation is 1
+    cold_start_s: float  # successor start-up latency (plan-jittered)
+    round_state: "RoundState | None"  # None: no durable checkpoint yet
+    snapshot: Any  # substrate statistical state to restore
+
+
+@dataclass
+class _Recovery:
+    """Latest durable checkpoint of one rank (simulation bookkeeping)."""
+
+    round_state: "RoundState"
+    snapshot: Any
+    records: int  # this rank's ctx.history entries at checkpoint time
+
+
+class FaultInjector:
+    """Drives the crash/recovery half of a :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.crashes = 0  # workers killed
+        self.respawns = 0  # FaaS successor incarnations spawned
+        self.restarts = 0  # IaaS whole-job restarts
+        self.recovery_checkpoints = 0  # per-round checkpoints persisted
+        self._recovery: dict[int, _Recovery] = {}
+        self._generation = 1  # IaaS whole-job attempt number
+        self._initial: dict[int, Any] = {}
+        self._ctx = None
+        self._executor: Callable | None = None
+
+    # ------------------------------------------------------------------
+    # Wiring (driver side)
+    # ------------------------------------------------------------------
+    @property
+    def crashes_enabled(self) -> bool:
+        return self.plan.crashes_enabled
+
+    def install(self, ctx, executor: Callable) -> None:
+        """Snapshot initial statistical state and spawn the monitors."""
+        self._ctx = ctx
+        self._executor = executor
+        if not self.crashes_enabled:
+            return
+        config = ctx.config
+        if config.protocol != "bsp" or config.platform not in ("faas", "iaas"):
+            raise FaultInjectionError(
+                "crash injection is defined for BSP FaaS/IaaS runs; "
+                f"got {config.protocol}/{config.platform}"
+            )
+        for rank in range(config.workers):
+            self._initial[rank] = ctx.substrate.snapshot_rank(rank)
+        if config.platform == "faas":
+            for rank in range(config.workers):
+                ctx.engine.spawn(
+                    self._faas_monitor(rank), f"fault-monitor-{rank}", daemon=True
+                )
+        else:
+            ctx.engine.spawn(self._iaas_monitor(), "fault-monitor", daemon=True)
+
+    # ------------------------------------------------------------------
+    # Executor-side hooks (FaaS recovery checkpoints)
+    # ------------------------------------------------------------------
+    def should_checkpoint(self, rank: int, rounds: int) -> bool:
+        """Persist a recovery checkpoint at this round boundary?
+
+        True once per boundary: a successor resuming *at* its
+        checkpointed round skips re-writing the checkpoint it just
+        restored from.
+        """
+        if not self.crashes_enabled:
+            return False
+        recovery = self._recovery.get(rank)
+        return recovery is None or recovery.round_state.rounds != rounds
+
+    def save_recovery(self, rank: int, state: "RoundState", snapshot: Any) -> None:
+        """Note that `rank`'s checkpoint for `state` is now durable."""
+        ctx = self._ctx
+        self._recovery[rank] = _Recovery(
+            round_state=state,
+            snapshot=snapshot,
+            records=ctx.record_counts.get(rank, 0),
+        )
+        self.recovery_checkpoints += 1
+
+    # ------------------------------------------------------------------
+    # Monitors (engine daemon processes)
+    # ------------------------------------------------------------------
+    def _faas_monitor(self, rank: int):
+        """Kill worker `rank` at each crash instant; respawn a successor."""
+        ctx = self._ctx
+        engine = ctx.engine
+        for crash_at in self.plan.crash_times(rank):
+            delay = crash_at - engine.now
+            if delay > 0:
+                yield Sleep(delay, "idle")
+            proc = ctx.worker_procs[rank]
+            if not proc.alive:
+                return  # the worker outlived its hazard
+            engine.kill(proc)
+            self.crashes += 1
+            recovery = self._recovery.get(rank)
+            # Roll back loss records the dead incarnation made past its
+            # last durable checkpoint; the successor re-records them.
+            self._truncate_history(rank, recovery.records if recovery else 0)
+            incarnation = ctx.next_invocation(rank)
+            resume = WorkerResume(
+                incarnation=incarnation,
+                cold_start_s=self.plan.cold_start_s(
+                    rank, incarnation, REINVOKE_OVERHEAD_S
+                ),
+                round_state=recovery.round_state if recovery else None,
+                snapshot=recovery.snapshot if recovery else self._initial[rank],
+            )
+            successor = engine.spawn(
+                self._executor(ctx, rank, resume),
+                name=f"worker-{rank}#{incarnation}",
+            )
+            self.respawns += 1
+            ctx.worker_procs[rank] = successor
+            ctx.all_worker_procs.append(successor)
+
+    def _iaas_monitor(self):
+        """Any worker crash restarts the whole cluster from scratch."""
+        ctx = self._ctx
+        engine = ctx.engine
+        workers = ctx.config.workers
+        streams = [self.plan.crash_times(rank) for rank in range(workers)]
+        upcoming = [next(stream) for stream in streams]
+        while True:
+            rank = min(range(workers), key=lambda r: upcoming[r])
+            crash_at = upcoming[rank]
+            upcoming[rank] = next(streams[rank])
+            delay = crash_at - engine.now
+            if delay > 0:
+                yield Sleep(delay, "idle")
+            procs = [ctx.worker_procs[r] for r in range(workers)]
+            if not any(p.alive for p in procs):
+                return  # job already finished
+            for proc in procs:
+                engine.kill(proc)
+            self.crashes += 1
+            self.restarts += 1
+            # Restart from scratch: fresh collective rendezvous, fresh
+            # statistical state, empty loss log — the new attempt will
+            # re-produce every record with fault-free values.
+            ctx.mpi.reset()
+            ctx.history.clear()
+            ctx.record_counts.clear()
+            self._generation += 1
+            generation = self._generation
+            for r in range(workers):
+                ctx.substrate.restore_rank(r, self._initial[r])
+                successor = engine.spawn(
+                    self._executor(ctx, r), name=f"worker-{r}#{generation}"
+                )
+                ctx.worker_procs[r] = successor
+                ctx.all_worker_procs.append(successor)
+
+    # ------------------------------------------------------------------
+    def _truncate_history(self, rank: int, keep: int) -> None:
+        ctx = self._ctx
+        if ctx.record_counts.get(rank, 0) <= keep:
+            return
+        kept = []
+        seen = 0
+        for point in ctx.history:
+            if point.worker == rank:
+                seen += 1
+                if seen > keep:
+                    continue
+            kept.append(point)
+        ctx.history[:] = kept
+        ctx.record_counts[rank] = keep
+
+    def events(self) -> dict:
+        """Structured summary for ``RunResult.meta`` / sweep artifacts."""
+        return {
+            "crashes": self.crashes,
+            "reincarnations": self.respawns,
+            "restarts": self.restarts,
+            "recovery_checkpoints": self.recovery_checkpoints,
+        }

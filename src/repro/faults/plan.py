@@ -1,0 +1,146 @@
+"""Deterministic fault schedules: every fault is a pure function of the seed.
+
+A :class:`FaultPlan` turns the fault axes of a :class:`~repro.core.
+config.TrainingConfig` (crash rate / MTTF, transient storage error
+rate, cold-start jitter) into concrete simulated events *without any
+runtime randomness*: crash instants, cold-start multipliers and per-
+operation storage-error decisions are all derived by hashing
+``(seed, rank, stream, index)`` with SHA-256. Two runs of the same
+config therefore inject byte-identical fault schedules — in the same
+process, across pool workers, and across exact/record/replay
+substrates — which is what keeps sweep artifacts content-addressed
+and the golden fault-invariance tests meaningful.
+
+The draws are *not* taken from ``numpy.random`` at simulation time;
+there is no RNG object to carry, share, or accidentally advance. A
+draw is ``u = sha256(f"{seed}:{stream}:{index}") / 2**64``:
+
+* crash times — per-rank exponential inter-arrivals with mean
+  ``mttf_s`` (inverse-CDF of the drawn uniform), yielding an infinite
+  increasing stream of absolute simulated instants;
+* cold starts — the respawned incarnation's start-up latency is
+  ``REINVOKE_OVERHEAD_S * (1 + cold_start_jitter * u)``;
+* storage errors — operation ``index`` on store ``label`` fails while
+  ``u(attempt) < storage_error_rate`` for consecutive attempt draws,
+  bounded by the retry policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.faults.retry import RetryPolicy
+
+_U64 = float(2**64)
+
+
+def unit_draw(seed: int, stream: str, index: int) -> float:
+    """Deterministic uniform in [0, 1): ``sha256(seed:stream:index)``."""
+    digest = hashlib.sha256(f"{seed}:{stream}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / _U64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded fault schedule for one training run (pure, picklable)."""
+
+    seed: int
+    mttf_s: float | None = None  # mean time between crashes per worker
+    storage_error_rate: float = 0.0
+    cold_start_jitter: float = 0.0
+    retry: RetryPolicy = RetryPolicy()
+
+    def __post_init__(self) -> None:
+        if self.mttf_s is not None and self.mttf_s <= 0:
+            raise ConfigurationError(f"mttf_s must be > 0, got {self.mttf_s}")
+        if not 0.0 <= self.storage_error_rate < 1.0:
+            raise ConfigurationError(
+                f"storage_error_rate must be in [0, 1), got {self.storage_error_rate}"
+            )
+        if self.cold_start_jitter < 0:
+            raise ConfigurationError(
+                f"cold_start_jitter must be >= 0, got {self.cold_start_jitter}"
+            )
+
+    # -- crash schedule ---------------------------------------------------
+    @property
+    def crashes_enabled(self) -> bool:
+        return self.mttf_s is not None
+
+    @property
+    def storage_faults_enabled(self) -> bool:
+        return self.storage_error_rate > 0.0
+
+    @property
+    def active(self) -> bool:
+        return self.crashes_enabled or self.storage_faults_enabled
+
+    def crash_times(self, rank: int) -> Iterator[float]:
+        """Infinite increasing stream of absolute crash instants for `rank`.
+
+        Exponential inter-arrivals with mean ``mttf_s`` (the memoryless
+        hazard a Lambda worker actually faces); the stream is a pure
+        function of ``(seed, rank)`` so restarts never reshuffle it.
+        """
+        if self.mttf_s is None:
+            return
+        t = 0.0
+        index = 0
+        while True:
+            u = unit_draw(self.seed, f"crash/{rank}", index)
+            # Inverse CDF; 1-u keeps the draw strictly positive.
+            t += -self.mttf_s * math.log(1.0 - u)
+            index += 1
+            yield t
+
+    def cold_start_s(self, rank: int, incarnation: int, base_s: float) -> float:
+        """Start-up latency of incarnation `incarnation` of worker `rank`."""
+        if self.cold_start_jitter == 0.0:
+            return base_s
+        u = unit_draw(self.seed, f"cold/{rank}", incarnation)
+        return base_s * (1.0 + self.cold_start_jitter * u)
+
+    # -- storage errors ---------------------------------------------------
+    def storage_failures(self, label: str, op_index: int) -> int:
+        """Consecutive failed attempts for operation `op_index` on `label`.
+
+        Attempt ``a`` fails while the ``(seed, storage/label/op_index,
+        a)`` draw lands below the error rate; capped at one draw past
+        the retry limit (the caller raises on exhaustion), so a plan
+        never loops unboundedly however high the rate.
+        """
+        if self.storage_error_rate == 0.0:
+            return 0
+        failures = 0
+        while failures <= self.retry.limit:
+            u = unit_draw(self.seed, f"storage/{label}/{op_index}", failures)
+            if u >= self.storage_error_rate:
+                break
+            failures += 1
+        return failures
+
+
+@dataclass(frozen=True)
+class StorageFaultPolicy:
+    """Binds a plan's storage-error stream to one store instance.
+
+    The `label` names the store's role in the run ("data", "channel")
+    so two stores never share an error stream even though they share
+    the plan. Attached to :class:`~repro.storage.base.ObjectStore`
+    instances by the job context; ``None`` (the default) keeps the
+    store on the fault-free fast path, bit-identical to older engines.
+    """
+
+    plan: FaultPlan
+    label: str
+
+    @property
+    def retry(self) -> RetryPolicy:
+        return self.plan.retry
+
+    def failures(self, op_index: int) -> int:
+        return self.plan.storage_failures(self.label, op_index)

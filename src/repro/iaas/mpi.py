@@ -50,6 +50,16 @@ class MPICommunicator:
             category="comm",
         )
 
+    def reset(self) -> None:
+        """Forget all rendezvous state (fault-injected job restart).
+
+        Killed workers may be parked inside a half-full collective
+        round; dropping the groups gives the restarted cohort fresh
+        ``pending``/``round_counter`` maps so stale contributions can
+        never fold into a new rendezvous.
+        """
+        self._groups.clear()
+
     def barrier(self):
         """Command for `yield`: synchronisation barrier (latency only)."""
         if "barrier" not in self._groups:

@@ -31,6 +31,14 @@ bench_engine_microbench.py``):
   poll.
 * Service slot booking is O(log slots) via
   :class:`repro.simulation.resources.ServiceQueue`'s heap.
+
+Fault-injection semantics (see :mod:`repro.faults`): :meth:`Engine.
+kill` terminates a process at its current yield point, deregistering
+any storage waiter it holds so a later put neither bills polls for nor
+wakes the dead process; in-flight operations still apply their data
+effects (an S3 write survives its writer). Daemon processes (fault
+monitors) never keep the simulation alive — the run loop stops, and
+the clock freezes, once the last non-daemon process finishes.
 """
 
 from __future__ import annotations
@@ -98,6 +106,11 @@ class Process:
         self.joiners: list[Callable[[], None]] = []
         # Token invalidating stale wake-up events after a kill.
         self._wake_token = 0
+        # Storage wait this process is currently registered on, if any:
+        # ("key", store, key) or ("count", store, prefix). Lets kill()
+        # deregister the waiter so a later put neither bills polls for
+        # nor wakes a dead process.
+        self._pending_wait: tuple | None = None
 
     @property
     def alive(self) -> bool:
@@ -118,11 +131,13 @@ class Engine:
         self.processes: list[Process] = []
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
-        # store id() -> key -> [(registration seq, callback)] waiters.
-        self._key_waiters: dict[int, dict[str, list[tuple[int, Callable[[float], None]]]]] = {}
-        # store id() -> prefix -> [(needed, registration seq, callback)].
+        # store id() -> key -> [(registration seq, callback, process)].
+        self._key_waiters: dict[
+            int, dict[str, list[tuple[int, Callable[[float], None], Process]]]
+        ] = {}
+        # store id() -> prefix -> [(needed, reg seq, callback, process)].
         self._count_waiters: dict[
-            int, dict[str, list[tuple[int, int, Callable[[float], None]]]]
+            int, dict[str, list[tuple[int, int, Callable[[float], None], Process]]]
         ] = {}
         # Registration order for waiters; separate from the event seq so
         # registering a waiter never perturbs event tie-breaking.
@@ -130,6 +145,13 @@ class Engine:
         # Live count of processes blocked inside a storage wait; used to
         # attribute deadlocks to storage vs join/collective rendezvous.
         self._blocked_on_store = 0
+        # Daemons (fault monitors) never keep the simulation alive: the
+        # run loop stops once every non-daemon process has finished,
+        # even if daemon wake-ups remain queued — otherwise a monitor
+        # sleeping toward a crash that will never happen would drag the
+        # simulated clock past the end of the job.
+        self._nondaemon_spawned = 0
+        self._nondaemon_alive = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -148,6 +170,9 @@ class Engine:
         """Register a new process; its first step runs `delay` s from now."""
         proc = Process(generator, name, daemon=daemon)
         self.processes.append(proc)
+        if not daemon:
+            self._nondaemon_spawned += 1
+            self._nondaemon_alive += 1
         start_at = self.now + delay
         self._schedule(start_at, lambda: self._first_step(proc))
         return proc
@@ -164,6 +189,9 @@ class Engine:
         heappop = heapq.heappop
         advance_to = self.clock.advance_to
         while heap:
+            if self._nondaemon_spawned and not self._nondaemon_alive:
+                # Only daemon events remain; the job itself is over.
+                break
             t, _, fn = heappop(heap)
             if until is not None and t > until:
                 # Put it back for a later resumed run() call.
@@ -190,6 +218,8 @@ class Engine:
         proc._wake_token += 1
         proc.state = ProcessState.KILLED
         proc.finished_at = self.now
+        self._retire(proc)
+        self._deregister_wait(proc)
         proc.generator.close()
         self._wake_joiners(proc)
 
@@ -222,12 +252,14 @@ class Engine:
             proc.state = ProcessState.DONE
             proc.result = stop.value
             proc.finished_at = self.now
+            self._retire(proc)
             self._wake_joiners(proc)
             return
         except BaseException as exc:  # noqa: BLE001 - recorded or re-raised below
             proc.state = ProcessState.FAILED
             proc.exception = exc
             proc.finished_at = self.now
+            self._retire(proc)
             self._wake_joiners(proc)
             if self.on_error == "raise":
                 raise
@@ -247,6 +279,11 @@ class Engine:
             self._step(proc, send_value=value, throw=throw)
 
         self._schedule(at, fire)
+
+    def _retire(self, proc: Process) -> None:
+        """Account one alive->terminal transition (DONE/FAILED/KILLED)."""
+        if not proc.daemon:
+            self._nondaemon_alive -= 1
 
     def _wake_joiners(self, proc: Process) -> None:
         joiners, proc.joiners = proc.joiners, []
@@ -311,6 +348,8 @@ class Engine:
         # Size is only known at completion; we first charge the latency,
         # then the transfer of the actual object found at completion.
         def apply_lookup() -> None:
+            if not proc.alive:
+                return  # killed while the request was in flight
             try:
                 value = cmd.store._do_get(cmd.key)
             except KeyNotFoundError as exc:
@@ -360,7 +399,7 @@ class Engine:
         if cmd.store._exists(cmd.key):
             wake(issued)
         else:
-            self._register_key_waiter(cmd.store, cmd.key, wake)
+            self._register_key_waiter(cmd.store, cmd.key, wake, proc)
 
     def _dispatch_wait_count(self, proc: Process, cmd: WaitKeyCount) -> None:
         issued = self.now
@@ -376,22 +415,57 @@ class Engine:
         if cmd.store._count_prefix(cmd.prefix) >= cmd.count:
             wake(issued)
         else:
-            self._register_count_waiter(cmd.store, cmd.prefix, cmd.count, wake)
+            self._register_count_waiter(cmd.store, cmd.prefix, cmd.count, wake, proc)
 
-    def _register_key_waiter(self, store: Any, key: str, wake: Callable[[float], None]) -> None:
+    def _register_key_waiter(
+        self, store: Any, key: str, wake: Callable[[float], None], proc: Process
+    ) -> None:
         by_key = self._key_waiters.setdefault(id(store), {})
-        by_key.setdefault(key, []).append((next(self._waiter_seq), wake))
+        by_key.setdefault(key, []).append((next(self._waiter_seq), wake, proc))
+        proc._pending_wait = ("key", store, key)
         self._blocked_on_store += 1
 
     def _register_count_waiter(
-        self, store: Any, prefix: str, count: int, wake: Callable[[float], None]
+        self,
+        store: Any,
+        prefix: str,
+        count: int,
+        wake: Callable[[float], None],
+        proc: Process,
     ) -> None:
         by_prefix = self._count_waiters.setdefault(id(store), {})
         waiters = by_prefix.setdefault(prefix, [])
         if not waiters:
             store.register_prefix(prefix)
-        waiters.append((count, next(self._waiter_seq), wake))
+        waiters.append((count, next(self._waiter_seq), wake, proc))
+        proc._pending_wait = ("count", store, prefix)
         self._blocked_on_store += 1
+
+    def _deregister_wait(self, proc: Process) -> None:
+        """Drop `proc`'s storage-wait registration (kill path).
+
+        Without this, a key becoming visible after the waiter's death
+        would bill polls for — and try to wake — a process that no
+        longer exists.
+        """
+        pending = proc._pending_wait
+        if pending is None:
+            return
+        proc._pending_wait = None
+        kind, store, token = pending
+        registry = self._key_waiters if kind == "key" else self._count_waiters
+        by_token = registry.get(id(store))
+        waiters = by_token.get(token) if by_token else None
+        if not waiters:
+            return
+        remaining = [entry for entry in waiters if entry[-1] is not proc]
+        self._blocked_on_store -= len(waiters) - len(remaining)
+        if remaining:
+            by_token[token] = remaining
+        else:
+            del by_token[token]
+            if kind == "count":
+                store.unregister_prefix(token)
 
     def _notify_put(self, store: Any, key: str) -> None:
         """Wake exactly the waiters affected by `key` becoming visible.
@@ -407,13 +481,14 @@ class Engine:
         if by_key:
             woken = by_key.pop(key, None)
             if woken:
-                for _, wake in woken:
+                for _, wake, waiter in woken:
                     self._blocked_on_store -= 1
+                    waiter._pending_wait = None
                     wake(self.now)
 
         by_prefix = self._count_waiters.get(sid)
         if by_prefix:
-            satisfied: list[tuple[int, Callable[[float], None]]] = []
+            satisfied: list[tuple[int, Callable[[float], None], Process]] = []
             for prefix in list(store.matching_registered_prefixes(key)):
                 waiters = by_prefix.get(prefix)
                 if not waiters:
@@ -433,8 +508,9 @@ class Engine:
                 # linear scan woke them; seqs are unique so the wake
                 # callables are never compared.
                 satisfied.sort(key=lambda entry: entry[0])
-                for _, wake in satisfied:
+                for _, wake, waiter in satisfied:
                     self._blocked_on_store -= 1
+                    waiter._pending_wait = None
                     wake(self.now)
 
     # -- join / collectives ------------------------------------------------
@@ -443,6 +519,8 @@ class Engine:
         issued = self.now
 
         def wake() -> None:
+            if not proc.alive:
+                return  # joiner was killed while waiting
             proc.trace.add(cmd.category, self.now - issued)
             if target.state is ProcessState.FAILED and target.exception is not None:
                 self._resume_later(proc, self.now, throw=target.exception)

@@ -45,8 +45,16 @@ class ServiceQueue:
 
     @property
     def busy_until(self) -> float:
-        """Latest completion currently booked (for tests/diagnostics)."""
-        return max(free_at for free_at, _ in self._heap)
+        """Latest booked completion across all slots (diagnostics only).
 
-    def reset(self) -> None:
-        self._heap = [(0.0, i) for i in range(self.slots)]
+        This is when the *most loaded* slot frees up, not when the next
+        operation could start (that is the heap's minimum, found by
+        :meth:`schedule`): an op arriving before ``busy_until`` may
+        still start immediately on an idle slot. Bookings are never
+        un-made, so the value is monotonically non-decreasing over a
+        run. Queues are single-use per run — build a fresh
+        :class:`ServiceQueue` instead of recycling one (a previous
+        ``reset()`` helper was removed as unused: rewinding slot state
+        mid-simulation would violate the engine's monotonic clock).
+        """
+        return max(free_at for free_at, _ in self._heap)

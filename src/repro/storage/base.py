@@ -18,6 +18,16 @@ queries cheap at scale:
 The timing plane is a :class:`StorageProfile` — latency, bandwidth,
 concurrency, startup delay and item limit — which is where the
 services differ.
+
+A store may additionally carry a :class:`~repro.faults.plan.
+StorageFaultPolicy` (attached by the job context when the config's
+``storage_error_rate`` is non-zero). Each put/get then consults the
+policy's deterministic error stream: failed attempts occupy the
+service for one latency, wait out an exponential backoff, and are
+billed like real requests; the data effect happens once, at the final
+(successful) attempt's completion. With no policy attached the fast
+path is untouched — byte-identical timing and dollars to the
+pre-fault-plane engine.
 """
 
 from __future__ import annotations
@@ -26,7 +36,12 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.errors import ConfigurationError, ItemTooLargeError, KeyNotFoundError
+from repro.errors import (
+    ConfigurationError,
+    ItemTooLargeError,
+    KeyNotFoundError,
+    TransientStorageError,
+)
 from repro.pricing.meter import CostMeter
 from repro.simulation.resources import ServiceQueue
 
@@ -90,6 +105,14 @@ class ObjectStore:
         # nodes take minutes to come up while S3 is an always-on service.
         self.available_at = profile.startup_s if available_from is None else available_from
         self.queue = ServiceQueue(profile.concurrency)
+        # Fault plane (see module docstring). fault_policy is attached
+        # by the job context; gc_enabled is cleared for crash-injected
+        # runs so respawned workers can re-read round files their dead
+        # predecessor already consumed.
+        self.fault_policy = None
+        self.gc_enabled = True
+        self.fault_events = {"storage_errors": 0, "retries": 0, "backoff_s": 0.0}
+        self._op_index = 0
         self._objects: dict[str, Any] = {}
         # Incremental index: all stored keys in sorted order, plus live
         # match counts for prefixes the engine is actively waiting on.
@@ -128,10 +151,62 @@ class ObjectStore:
                 f"(payload {nbytes} B) exceeds limit {self.profile.max_item_bytes} B"
             )
         arrival = max(arrival, self.available_at)
+        policy = self.fault_policy
+        if policy is not None and op in ("put", "get"):
+            retried = self._schedule_failed_attempts(op, arrival, policy)
+            if retried is not None:
+                first_start, arrival = retried
+                duration = self.op_duration(op, nbytes)
+                _, end = self.queue.schedule(arrival, duration)
+                self._bill(op, nbytes)
+                return first_start, end
         duration = self.op_duration(op, nbytes)
         start, end = self.queue.schedule(arrival, duration)
         self._bill(op, nbytes)
         return start, end
+
+    def _schedule_failed_attempts(self, op, arrival, policy):
+        """Lay this op's transient failures onto simulated time.
+
+        Returns ``None`` when the op succeeds first try (fast path), or
+        ``(first_attempt_start, retry_arrival)``: the instant the first
+        (failed) attempt started service and the instant the final
+        attempt may be issued. Each failed attempt occupies the service
+        for one latency (an error response is metadata, not a
+        transfer), is billed like a real request, and is followed by
+        the policy's exponential backoff. ``self._op_index`` advances
+        exactly once per logical operation, so the plan's per-store
+        error stream lines up across exact/record/replay runs.
+        """
+        op_index = self._op_index
+        self._op_index += 1
+        failures = policy.failures(op_index)
+        if failures == 0:
+            return None
+        retry = policy.retry
+        if failures > retry.limit:
+            raise TransientStorageError(
+                f"{self.profile.name}: {op} failed {failures} time(s), "
+                f"exhausting the {retry.limit}-retry budget (op #{op_index})"
+            )
+        events = self.fault_events
+        events["storage_errors"] += failures
+        events["retries"] += failures
+        first_start = None
+        for attempt in range(failures):
+            start, end = self.queue.schedule(arrival, self.profile.latency_s)
+            if first_start is None:
+                first_start = start
+            # A failed attempt is a real request but an error-sized
+            # response: billed at zero transfer bytes (per-request
+            # services charge the request; unit-priced services charge
+            # one minimum unit), matching the latency-only service
+            # occupation above.
+            self._bill(op, 0)
+            backoff = retry.backoff_s(attempt)
+            events["backoff_s"] += backoff
+            arrival = end + backoff
+        return first_start, arrival
 
     def record_polls(self, count: int) -> None:
         """Bill `count` metadata polls issued by a waiting worker."""
@@ -248,9 +323,13 @@ class ObjectStore:
         Used by the communication patterns after a round's temporary
         files have been fully merged, so long simulations do not
         accumulate memory. Not billed and not timed — by construction
-        the discarded keys can never be read again.
+        the discarded keys can never be read again. Crash-injected runs
+        clear ``gc_enabled`` and retain everything: a respawned worker
+        re-executes its lost rounds, so "can never be read again" no
+        longer holds there.
         """
-        self._do_delete(key)
+        if self.gc_enabled:
+            self._do_delete(key)
 
     def __len__(self) -> int:
         return len(self._objects)

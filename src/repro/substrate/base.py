@@ -77,6 +77,27 @@ class Substrate(abc.ABC):
     def finalize(self, ctx, result, outcomes) -> None:
         """Post-run hook (recording assembles its trace here)."""
 
+    # -- fault recovery -------------------------------------------------
+    def snapshot_rank(self, rank: int):
+        """Opaque statistical state of `rank` for crash recovery.
+
+        The returned object must stay valid across any number of
+        :meth:`restore_rank` calls (restores install a *copy*), and a
+        restored rank must reproduce the exact statistical stream —
+        payload floats, losses, RNG draws — that followed the snapshot
+        the first time. The fault injector snapshots at every FaaS
+        round boundary and once per rank at IaaS job start.
+        """
+        raise SubstrateError(
+            f"{type(self).__name__} does not support fault recovery snapshots"
+        )
+
+    def restore_rank(self, rank: int, state) -> None:
+        """Reset `rank`'s statistical state to a prior snapshot."""
+        raise SubstrateError(
+            f"{type(self).__name__} does not support fault recovery snapshots"
+        )
+
 
 class TimedView:
     """Pass-through per-rank view that meters the numpy-heavy calls.

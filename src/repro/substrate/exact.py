@@ -10,6 +10,7 @@ learns how many host seconds the statistical work cost.
 
 from __future__ import annotations
 
+import copy
 import time
 
 from repro.data.loader import make_shards
@@ -60,6 +61,38 @@ class ExactSubstrate(Substrate):
 
     def stats(self, rank: int):
         return self._views[rank]
+
+    # -- fault recovery -------------------------------------------------
+    def _copy_algorithm(self, algo):
+        """Deep copy of an algorithm's mutable state, sharing the data.
+
+        The shard's feature/label arrays are immutable for the whole
+        run, so the memo pins them (copying a full Higgs shard per
+        round-boundary snapshot would dominate fault runs); everything
+        else — parameters, ADMM duals, k-means centroids, and crucially
+        the shard's minibatch RNG — is copied, which is exactly what a
+        resumed incarnation needs to replay the identical statistical
+        stream.
+        """
+        shard = algo.shard
+        memo = {
+            id(arr): arr
+            for arr in (shard.X, shard.y, shard.X_val, shard.y_val)
+        }
+        return copy.deepcopy(algo, memo)
+
+    def snapshot_rank(self, rank: int):
+        t0 = time.perf_counter()
+        state = self._copy_algorithm(self.algorithms[rank])
+        self.compute_seconds += time.perf_counter() - t0
+        return state
+
+    def restore_rank(self, rank: int, state) -> None:
+        t0 = time.perf_counter()
+        algo = self._copy_algorithm(state)  # the snapshot stays reusable
+        self.algorithms[rank] = algo
+        self._views[rank] = TimedView(algo, self)
+        self.compute_seconds += time.perf_counter() - t0
 
     def final_accuracy(self, ctx) -> float | None:
         """Validation accuracy of worker 0's final model, when defined."""

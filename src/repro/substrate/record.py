@@ -58,6 +58,22 @@ class RecordingSubstrate(ExactSubstrate):
             for algo, losses in zip(self.algorithms, self._loss_log)
         ]
 
+    # -- fault recovery -------------------------------------------------
+    def snapshot_rank(self, rank: int):
+        """Algorithm state plus how many losses were recorded so far."""
+        return (super().snapshot_rank(rank), len(self._loss_log[rank]))
+
+    def restore_rank(self, rank: int, state) -> None:
+        """Rewind the loss log with the algorithm: a crash-recovered run
+        re-evaluates the dropped entries with identical values, so the
+        assembled trace is indistinguishable from a fault-free
+        recording."""
+        algo_state, recorded = state
+        super().restore_rank(rank, algo_state)
+        losses = self._loss_log[rank]
+        del losses[recorded:]
+        self._views[rank] = _RecordingView(self.algorithms[rank], self, losses)
+
     def finalize(self, ctx, result, outcomes) -> None:
         # Deferred: repro/__init__ -> core -> context -> substrate would
         # otherwise be circular at import time.

@@ -123,5 +123,13 @@ class ReplaySubstrate(Substrate):
     def stats(self, rank: int):
         return self._views[rank]
 
+    # -- fault recovery -------------------------------------------------
+    def snapshot_rank(self, rank: int):
+        """A replayed rank's whole mutable state is its loss cursor."""
+        return self._views[rank]._cursor
+
+    def restore_rank(self, rank: int, state) -> None:
+        self._views[rank]._cursor = state
+
     def final_accuracy(self, ctx) -> float | None:
         return self.trace.get("final_accuracy")

@@ -1,9 +1,9 @@
 """Per-point sweep artifacts: one JSON file per completed run.
 
-Artifact schema (version 2)::
+Artifact schema (version 3)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "experiment": "fig11",
       "label": "faas,W=512",
       "tags": {"series": "lr/higgs", "system": "faas"},
@@ -20,7 +20,13 @@ Artifact schema (version 2)::
         "checkpoints": int,
         "final_accuracy": float | null,
         "time_breakdown": {category: seconds},   # Figure-10 style
-        "history": [[time_s, epoch, loss, worker], ...]
+        "history": [[time_s, epoch, loss, worker], ...],
+        "events": {                              # reliability story
+          "checkpoints": int, "lifetime_reinvocations": int,
+          "crashes": int, "reincarnations": int, "restarts": int,
+          "recovery_checkpoints": int, "storage_errors": int,
+          "storage_retries": int, "storage_backoff_s": float
+        }
       },
       "meta": {
         "wall_seconds": float,        # host wall-clock; NOT deterministic
@@ -36,8 +42,11 @@ exact or replayed from a recorded trace — must be byte-identical after
 dropping ``meta`` (the determinism tests assert exactly that).
 
 Schema history: version 1 (PR 2) lacked ``meta.substrate`` and
-``meta.compute_seconds``. Version-1 artifacts still load (resume reuses
-them with a warning); everything written now is version 2.
+``meta.compute_seconds``; version 2 (PR 3) lacked ``result.events``
+(the fault-plane event summary — counts of *simulated* events, hence
+deterministic and part of the result, not the meta). Both still load
+(resume reuses them with a warning); everything written now is
+version 3.
 
 Writes are atomic (tmp file + ``os.replace``) so an interrupted sweep
 never leaves a half-written ``<hash>.json``; a partial/corrupt file is
@@ -56,9 +65,9 @@ from repro.core.results import LossPoint, RunResult
 from repro.simulation.tracing import TimeBreakdown
 from repro.sweep.grid import SweepPoint, config_fingerprint, fingerprint_hash
 
-ARTIFACT_SCHEMA_VERSION = 2
+ARTIFACT_SCHEMA_VERSION = 3
 #: Older schemas `load_artifact` still accepts (resume warns on reuse).
-COMPATIBLE_SCHEMA_VERSIONS = (1, ARTIFACT_SCHEMA_VERSION)
+COMPATIBLE_SCHEMA_VERSIONS = (1, 2, ARTIFACT_SCHEMA_VERSION)
 
 
 class ArtifactError(ValueError):
@@ -95,6 +104,7 @@ def artifact_from_result(
             "history": [
                 [p.time_s, p.epoch, p.loss, p.worker] for p in result.history
             ],
+            "events": dict(result.events),
         },
         "meta": {
             "wall_seconds": round(wall_seconds, 3),
@@ -138,6 +148,8 @@ def result_from_artifact(artifact: dict) -> RunResult:
         breakdown=breakdown,
         checkpoints=res["checkpoints"],
         final_accuracy=res["final_accuracy"],
+        # v1/v2 artifacts predate the fault plane: no events recorded.
+        meta={"events": dict(res.get("events", {}))},
     )
 
 

@@ -278,7 +278,8 @@ def run_sweep(
                 say(
                     f"warning: reusing {point_hash}.json with artifact schema "
                     f"{artifact['schema']} (current: {ARTIFACT_SCHEMA_VERSION}; "
-                    "its meta lacks substrate/compute_seconds)"
+                    "older schemas lack meta.substrate/compute_seconds "
+                    "and/or result.events)"
                 )
             # Labels/tags are presentation metadata, deliberately
             # outside the hash. When a grid renames them, refresh the

@@ -22,6 +22,7 @@ from repro.experiments import (
     fig9_end_to_end,
     fig11_scaling,
     fig12_configurations,
+    figR_reliability,
 )
 from repro.experiments.report import format_table
 from repro.sweep.grid import SweepPoint, expand_grid
@@ -39,13 +40,20 @@ class SweepExperiment:
 def _smoke_points(
     max_epochs: float | None = None, seed: int = 20210620
 ) -> list[SweepPoint]:
-    """A 4-point grid that completes in seconds (heavily down-scaled)."""
+    """A 6-point grid that completes in seconds (heavily down-scaled).
+
+    Four fault-free systems points plus two fault-plane points (one
+    crash-injected, one with transient storage errors). All six share
+    one statistical fingerprint, so a ``--substrate auto`` run records
+    exactly one trace — the cheapest end-to-end probe of both the
+    two-phase orchestrator and the fault plane's determinism contract.
+    """
     base = dict(
         model="lr", dataset="higgs", algorithm="admm", system="lambdaml",
         data_scale=5000, loss_threshold=0.66,
         max_epochs=max_epochs or 2.0, seed=seed,
     )
-    return [
+    points = [
         SweepPoint(
             "smoke",
             f"{kw['channel']},{kw['pattern']},W={kw['workers']}",
@@ -61,6 +69,25 @@ def _smoke_points(
             },
         )
     ]
+    points.append(
+        SweepPoint(
+            "smoke", "s3,allreduce,W=4,mttf=120s",
+            config_kwargs=dict(base, channel="s3", workers=4, mttf_s=120.0),
+            tags={"series": "lr/higgs@1/5000", "system": "faas",
+                  "faults": "crash"},
+        )
+    )
+    points.append(
+        SweepPoint(
+            "smoke", "s3,allreduce,W=4,storage_err=2%",
+            config_kwargs=dict(
+                base, channel="s3", workers=4, storage_error_rate=0.02
+            ),
+            tags={"series": "lr/higgs@1/5000", "system": "faas",
+                  "faults": "storage"},
+        )
+    )
+    return points
 
 
 def _smoke_format_report(artifacts: list[dict]) -> str:
@@ -111,9 +138,17 @@ EXPERIMENTS: dict[str, SweepExperiment] = {
         fig12_configurations.aggregate,
         fig12_configurations.format_report,
     ),
+    "figR": SweepExperiment(
+        "figR",
+        "cost of reliability: runtime/cost overhead vs crash and "
+        "storage-error rates, FaaS-with-checkpoints vs IaaS-restart",
+        figR_reliability.sweep_points,
+        figR_reliability.aggregate,
+        figR_reliability.format_report,
+    ),
     "smoke": SweepExperiment(
         "smoke",
-        "seconds-scale orchestrator probe (down-scaled LR/Higgs)",
+        "seconds-scale orchestrator + fault-plane probe (down-scaled LR/Higgs)",
         _smoke_points,
         lambda artifacts: artifacts,
         _smoke_format_report,

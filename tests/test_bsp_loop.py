@@ -105,8 +105,8 @@ class TestBSPLoop:
         ctx = _context(loss_threshold=None, max_epochs=2)
         calls = []
 
-        def pre_round(epoch_float, rounds, local_loss):
-            calls.append((epoch_float, rounds))
+        def pre_round(state):
+            calls.append((state.epoch_float, state.rounds))
             yield Sleep(0.0)
 
         pending = {}

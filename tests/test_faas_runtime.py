@@ -1,0 +1,68 @@
+"""FunctionLifetime edge cases: the knife-edge boundaries of Figure 5.
+
+The executor consults ``needs_checkpoint`` at every round boundary and
+``ensure_alive`` models the platform's hard kill. Both comparisons are
+*inclusive*: a round whose estimate exactly equals the remaining
+margin must checkpoint (the margin exists so that knife-edge never
+runs), and a function at exactly zero remaining lifetime is already
+dead — AWS does not grant one extra instant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FunctionTimeoutError
+from repro.faas.limits import LambdaLimits
+from repro.faas.runtime import FunctionLifetime
+
+
+def _lifetime(lifetime_s: float = 900.0, margin_s: float = 30.0) -> FunctionLifetime:
+    limits = LambdaLimits(lifetime_s=lifetime_s, checkpoint_margin_s=margin_s)
+    return FunctionLifetime(limits, started_at=0.0)
+
+
+class TestNeedsCheckpointBoundary:
+    def test_exact_margin_equality_checkpoints(self):
+        # remaining = 900 - 600 = 300; margin = 30 + 270 = 300 exactly.
+        lt = _lifetime()
+        assert lt.needs_checkpoint(600.0, next_round_estimate_s=270.0)
+
+    def test_one_ulp_inside_the_margin_does_not_checkpoint(self):
+        lt = _lifetime()
+        assert not lt.needs_checkpoint(600.0, next_round_estimate_s=269.0)
+
+    def test_zero_estimate_uses_the_bare_margin_inclusively(self):
+        lt = _lifetime()
+        assert not lt.needs_checkpoint(869.0)  # remaining 31 > 30
+        assert lt.needs_checkpoint(870.0)  # remaining 30 == margin
+        assert lt.needs_checkpoint(871.0)  # remaining 29 < margin
+
+    def test_fresh_function_never_needs_checkpoint(self):
+        lt = _lifetime()
+        assert not lt.needs_checkpoint(0.0)
+
+
+class TestEnsureAliveBoundary:
+    def test_alive_strictly_inside_the_lifetime(self):
+        lt = _lifetime()
+        lt.ensure_alive(899.999)
+
+    def test_dead_at_exactly_zero_remaining(self):
+        lt = _lifetime()
+        assert lt.remaining(900.0) == 0.0
+        with pytest.raises(FunctionTimeoutError):
+            lt.ensure_alive(900.0)
+
+    def test_dead_past_the_wall(self):
+        lt = _lifetime()
+        with pytest.raises(FunctionTimeoutError):
+            lt.ensure_alive(900.001)
+
+    def test_reincarnation_resets_the_clock(self):
+        lt = _lifetime()
+        lt.reincarnate(895.0)
+        lt.ensure_alive(900.0)  # 895 + 900 > 900: alive again
+        assert lt.incarnations == 2
+        with pytest.raises(FunctionTimeoutError):
+            lt.ensure_alive(1795.0)  # exactly one lifetime after restart

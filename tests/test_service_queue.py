@@ -30,11 +30,29 @@ class TestBasics:
         q = ServiceQueue(3)
         assert q.schedule(10.0, 1.0) == (10.0, 11.0)
 
-    def test_reset(self):
-        q = ServiceQueue(1)
-        q.schedule(0.0, 5.0)
-        q.reset()
+    def test_busy_until_tracks_the_most_loaded_slot(self):
+        q = ServiceQueue(2)
+        assert q.busy_until == 0.0
+        q.schedule(0.0, 2.0)
+        assert q.busy_until == 2.0
+        # The second slot is idle: a new op starts immediately even
+        # though busy_until is in the future.
         assert q.schedule(0.0, 1.0) == (0.0, 1.0)
+        assert q.busy_until == 2.0  # max over slots, not the last booking
+
+    def test_busy_until_is_monotonically_nondecreasing(self):
+        q = ServiceQueue(2)
+        seen = [q.busy_until]
+        for arrival, duration in ((0.0, 3.0), (1.0, 0.5), (2.0, 0.1), (9.0, 1.0)):
+            q.schedule(arrival, duration)
+            seen.append(q.busy_until)
+        assert seen == sorted(seen)
+
+    def test_queues_are_single_use(self):
+        # ServiceQueue deliberately has no reset(): slot bookings are
+        # simulated history, and rewinding them mid-run would violate
+        # the engine's monotonic clock. Fresh run, fresh queue.
+        assert not hasattr(ServiceQueue(1), "reset")
 
     def test_zero_slots_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -277,13 +277,13 @@ class TestSweepCli:
                      "--out", str(out)]) == 0
         stdout = capsys.readouterr().out
         assert "Smoke sweep" in stdout
-        assert "4 point(s) run, 0 skipped" in stdout
-        assert len(list(out.glob("*.json"))) == 4
+        assert "6 point(s) run, 0 skipped" in stdout
+        assert len(list(out.glob("*.json"))) == 6
 
         assert main(["sweep", "--experiment", "smoke", "--jobs", "2",
                      "--out", str(out), "--resume", "--no-report"]) == 0
         stdout = capsys.readouterr().out
-        assert "0 point(s) run, 4 skipped" in stdout
+        assert "0 point(s) run, 6 skipped" in stdout
 
     def test_sweep_substrate_auto_and_dry_run(self, tmp_path, capsys):
         out = tmp_path / "artifacts"
@@ -292,13 +292,13 @@ class TestSweepCli:
         stdout = capsys.readouterr().out
         assert "dry run" in stdout
         assert "unique stat fingerprints:     1" in stdout
-        assert "would train: 1 exact point(s) and replay 3" in stdout
+        assert "would train: 1 exact point(s) and replay 5" in stdout
         assert not out.exists()  # a dry run runs (and writes) nothing
 
         assert main(["sweep", "--experiment", "smoke", "--out", str(out),
                      "--substrate", "auto", "--no-report"]) == 0
         stdout = capsys.readouterr().out
-        assert "1 recorded, 3 replayed, 0 exact" in stdout
+        assert "1 recorded, 5 replayed, 0 exact" in stdout
         assert len(list((out / "traces").glob("*.json"))) == 1
 
         assert main(["sweep", "--experiment", "smoke", "--out", str(out),
@@ -311,7 +311,7 @@ class TestSweepCli:
         assert main(["sweep", "--experiment", "smoke", "--out", str(out),
                      "--dry-run", "--substrate", "auto"]) == 0
         stdout = capsys.readouterr().out
-        assert "would train: 1 exact point(s) and replay 3" in stdout
+        assert "would train: 1 exact point(s) and replay 5" in stdout
         assert "reused only with --resume" in stdout
 
     def test_unknown_experiment_rejected(self):
@@ -361,7 +361,7 @@ class TestTwoPhaseSweep:
     """Record-once/replay-everywhere sweeps (``substrate="auto"``)."""
 
     def test_auto_records_once_and_replays_the_rest(self, tmp_path):
-        points = SMOKE_POINTS()  # 4 points, 1 statistical fingerprint
+        points = SMOKE_POINTS()  # 6 points (2 fault-injected), 1 statistical fingerprint
         run = run_sweep(points, out_dir=tmp_path, substrate="auto")
         assert (run.stat_groups, run.recorded, run.replayed, run.exact_runs) == (
             1, 1, len(points) - 1, 0,
