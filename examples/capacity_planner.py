@@ -13,9 +13,7 @@ Run:  python examples/capacity_planner.py
 
 from __future__ import annotations
 
-from repro.analytics.casestudy import HybridModel
-from repro.analytics.estimator import SamplingEstimator
-from repro.analytics.model import AnalyticalModel, WorkloadParams
+from repro.api import AnalyticalModel, HybridModel, SamplingEstimator, WorkloadParams
 from repro.data.datasets import get_spec
 from repro.models.zoo import get_model_info
 

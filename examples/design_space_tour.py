@@ -1,7 +1,7 @@
 """A tour of LambdaML's design space (paper Section 3).
 
-Sweeps the four FaaS design dimensions on one workload and prints how
-each choice moves runtime and cost:
+Sweeps the four FaaS design dimensions on one workload via the
+``repro.api`` facade and prints how each choice moves runtime and cost:
 
 1. distributed optimization algorithm (GA-SGD / MA-SGD / ADMM),
 2. communication channel (S3 / Memcached / DynamoDB),
@@ -9,80 +9,79 @@ each choice moves runtime and cost:
 4. synchronization protocol (BSP / ASP).
 
 Run:  python examples/design_space_tour.py
+      python examples/design_space_tour.py --quick   # CI-scale grid
 """
 
 from __future__ import annotations
 
-from repro import TrainingConfig, train
+import sys
+
+from repro.api import Scenario, compare
+
+# --quick shrinks the dataset and epoch budget so the whole tour runs
+# in seconds (the CI examples-smoke job uses it); the shapes survive.
+QUICK = "--quick" in sys.argv
+
+BASE = Scenario(
+    model="lr",
+    dataset="higgs",
+    algorithm="admm",
+    system="lambdaml",
+    workers=10,
+    channel="s3",
+    batch_size=100_000,
+    lr=0.05,
+    loss_threshold=0.66,
+    max_epochs=4 if QUICK else 40,
+    data_scale=5000 if QUICK else None,
+)
 
 
-def run(**overrides):
-    base = dict(
-        model="lr",
-        dataset="higgs",
-        algorithm="admm",
-        system="lambdaml",
-        workers=10,
-        channel="s3",
-        batch_size=100_000,
-        lr=0.05,
-        loss_threshold=0.66,
-        max_epochs=40,
-    )
-    base.update(overrides)
-    return train(TrainingConfig(**base))
-
-
-def show(title: str, runs: dict) -> None:
-    print(f"\n== {title} ==")
-    print(f"{'configuration':<22} {'conv':<6} {'loss':>7} {'time(s)':>9} {'cost($)':>9} {'rounds':>7}")
-    for name, r in runs.items():
-        print(
-            f"{name:<22} {str(r.converged):<6} {r.final_loss:>7.4f} "
-            f"{r.duration_s:>9.1f} {r.cost_total:>9.4f} {r.comm_rounds:>7}"
-        )
+def show(title: str, scenarios: dict) -> None:
+    print()
+    print(compare(scenarios).report(title))
 
 
 def main() -> None:
+    ga_epochs = 1 if QUICK else 3
     show(
         "1. Algorithm (channel=s3)",
         {
-            "ADMM": run(algorithm="admm"),
-            "MA-SGD": run(algorithm="ma_sgd"),
-            "GA-SGD": run(algorithm="ga_sgd", lr=0.3, max_epochs=3),
+            "ADMM": BASE,
+            "MA-SGD": BASE.vary(algorithm="ma_sgd"),
+            "GA-SGD": BASE.vary(algorithm="ga_sgd", lr=0.3, max_epochs=ga_epochs),
         },
     )
     show(
         "2. Channel (algorithm=admm)",
         {
-            "S3": run(channel="s3"),
-            "Memcached": run(channel="memcached"),
-            "DynamoDB": run(channel="dynamodb"),
+            "S3": BASE,
+            "Memcached": BASE.vary(channel="memcached"),
+            "DynamoDB": BASE.vary(channel="dynamodb"),
         },
+    )
+    mobilenet = BASE.vary(
+        model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
+        channel="memcached", channel_prestarted=True,
+        batch_size=128, batch_scope="per_worker",
+        loss_threshold=None, max_epochs=0.2 if QUICK else 1,
     )
     show(
         "3. Pattern (mobilenet, memcached)",
         {
-            "AllReduce": run(
-                model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
-                channel="memcached", channel_prestarted=True,
-                batch_size=128, batch_scope="per_worker",
-                loss_threshold=None, max_epochs=1, pattern="allreduce",
-            ),
-            "ScatterReduce": run(
-                model="mobilenet", dataset="cifar10", algorithm="ga_sgd",
-                channel="memcached", channel_prestarted=True,
-                batch_size=128, batch_scope="per_worker",
-                loss_threshold=None, max_epochs=1, pattern="scatterreduce",
-            ),
+            "AllReduce": mobilenet.vary(pattern="allreduce"),
+            "ScatterReduce": mobilenet.vary(pattern="scatterreduce"),
         },
+    )
+    sgd = BASE.vary(
+        algorithm="ga_sgd", lr=0.3, max_epochs=1 if QUICK else 4,
+        straggler_jitter=0.3,
     )
     show(
         "4. Protocol (ga-sgd)",
         {
-            "BSP": run(algorithm="ga_sgd", lr=0.3, max_epochs=4, straggler_jitter=0.3),
-            "ASP": run(algorithm="ga_sgd", lr=0.3, max_epochs=4, protocol="asp",
-                       straggler_jitter=0.3),
+            "BSP": sgd,
+            "ASP": sgd.vary(protocol="asp"),
         },
     )
 

@@ -15,42 +15,35 @@ Run:  python examples/faas_vs_iaas.py
 
 from __future__ import annotations
 
-from repro import TrainingConfig, train
-
-
-def run(system: str, algorithm: str):
-    return train(
-        TrainingConfig(
-            model="lr",
-            dataset="higgs",
-            algorithm=algorithm,
-            system=system,
-            workers=10,
-            channel="s3",
-            batch_size=10_000,
-            lr=0.05 if algorithm != "ga_sgd" else 0.3,
-            loss_threshold=0.66,
-            max_epochs=60,
-        )
-    )
+from repro.api import Scenario, compare
 
 
 def main() -> None:
-    runs = {
-        "LambdaML (FaaS, ADMM)": run("lambdaml", "admm"),
-        "PyTorch (IaaS, ADMM)": run("pytorch", "admm"),
-        "PyTorch (IaaS, MA-SGD)": run("pytorch", "ma_sgd"),
-        "HybridPS (Cirrus-style)": run("hybridps", "ga_sgd"),
-    }
-    print(f"{'system':<26} {'converged':<10} {'time (s)':>9} {'cost ($)':>9}")
-    for name, result in runs.items():
-        print(
-            f"{name:<26} {str(result.converged):<10} "
-            f"{result.duration_s:>9.1f} {result.cost_total:>9.4f}"
-        )
+    base = Scenario(
+        model="lr",
+        dataset="higgs",
+        algorithm="admm",
+        workers=10,
+        channel="s3",
+        batch_size=10_000,
+        lr=0.05,
+        loss_threshold=0.66,
+        max_epochs=60,
+    )
+    verdict = compare(
+        {
+            "LambdaML (FaaS, ADMM)": base.vary(system="lambdaml"),
+            "PyTorch (IaaS, ADMM)": base.vary(system="pytorch"),
+            "PyTorch (IaaS, MA-SGD)": base.vary(system="pytorch", algorithm="ma_sgd"),
+            "HybridPS (Cirrus-style)": base.vary(
+                system="hybridps", algorithm="ga_sgd", lr=0.3
+            ),
+        }
+    )
+    print(verdict.report("FaaS vs IaaS — LR/Higgs, distributed ADMM"))
 
-    faas = runs["LambdaML (FaaS, ADMM)"]
-    iaas = runs["PyTorch (IaaS, ADMM)"]
+    faas = verdict["LambdaML (FaaS, ADMM)"]
+    iaas = verdict["PyTorch (IaaS, ADMM)"]
     print()
     print(f"FaaS speed-up over IaaS : {iaas.duration_s / faas.duration_s:.2f}x")
     print(f"FaaS cost over IaaS     : {faas.cost_total / iaas.cost_total:.2f}x")

@@ -11,11 +11,11 @@ Run:  python examples/fault_tolerance.py
 
 from __future__ import annotations
 
-from repro import TrainingConfig, train
+from repro.api import Scenario, run
 
 
 def main() -> None:
-    config = TrainingConfig(
+    scenario = Scenario(
         model="resnet50",
         dataset="cifar10",
         algorithm="ga_sgd",  # per-batch rounds fit inside one lifetime
@@ -29,7 +29,7 @@ def main() -> None:
         loss_threshold=0.4,
         max_epochs=2,
     )
-    result = train(config)
+    result = run(scenario)
 
     lifetime_minutes = 15
     print(result.summary())

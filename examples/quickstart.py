@@ -5,16 +5,19 @@ ADMM over ten simulated Lambda workers communicating through S3 — the
 paper's best FaaS configuration for this workload — and prints the
 runtime, dollar cost, convergence trajectory and per-phase breakdown.
 
+Uses the public ``repro.api`` facade: a ``Scenario`` describes the run,
+``run()`` executes it.
+
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import TrainingConfig, train
+from repro.api import Scenario, run
 
 
 def main() -> None:
-    config = TrainingConfig(
+    scenario = Scenario(
         model="lr",
         dataset="higgs",
         algorithm="admm",  # communication-efficient: syncs every 10 epochs
@@ -26,7 +29,7 @@ def main() -> None:
         loss_threshold=0.66,  # paper Table 4 stopping loss
         max_epochs=60,
     )
-    result = train(config)
+    result = run(scenario)
 
     print(result.summary())
     print()

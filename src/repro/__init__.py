@@ -6,21 +6,24 @@ over simulated AWS infrastructure — together with the IaaS baselines
 (distributed PyTorch, Angel, the Cirrus-style hybrid parameter server)
 and the paper's analytical cost/performance model.
 
-Quickstart::
+Quickstart (the public facade lives in :mod:`repro.api`)::
 
-    from repro import TrainingConfig, train
+    from repro.api import Scenario, run
 
-    result = train(TrainingConfig(
+    result = run(Scenario(
         model="lr", dataset="higgs", algorithm="admm",
         system="lambdaml", workers=10, loss_threshold=0.66,
     ))
     print(result.summary())
+
+``from repro import TrainingConfig, train`` remains available for
+low-level use.
 """
 
 from repro.core.config import TrainingConfig
 from repro.core.driver import train
 from repro.core.results import RunResult
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = ["TrainingConfig", "train", "RunResult", "__version__"]

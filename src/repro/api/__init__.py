@@ -1,0 +1,98 @@
+"""``repro.api`` — the public, documented way to script the simulator.
+
+Three layers, smallest first:
+
+* **One run.** :func:`run` trains a :class:`Scenario` (or a raw
+  ``TrainingConfig``) and returns the :class:`RunResult`::
+
+      from repro.api import Scenario, run
+
+      result = run(Scenario.workload("lr", "higgs", workers=10))
+      print(result.summary())
+
+* **A session.** :class:`Session` owns an artifact root and a substrate
+  policy; its ``run``/``sweep``/``compare`` are content-addressed and
+  resumable — repeating a call against the same root re-runs nothing::
+
+      from repro.api import Scenario, Session
+
+      s = Session("results", jobs=4)           # substrate="auto"
+      outcome = s.sweep("fig11")               # any registered study
+      print(outcome.report())
+      verdict = s.compare({
+          "faas": Scenario.workload("lr", "higgs"),
+          "iaas": Scenario.workload("lr", "higgs", system="pytorch"),
+      })
+      print(verdict.report())
+
+* **A new study.** Declare ``points(ctx)`` / ``aggregate`` /
+  ``format_report`` on a class, decorate it with :func:`study`, and the
+  name becomes available to ``Session.sweep`` and ``repro.cli sweep``
+  alike (see ``examples/custom_study.py`` — a complete new experiment
+  is ~30 lines).
+
+The analytical toolkit the paper's Section-5.3 model uses is re-exported
+here too (:class:`AnalyticalModel`, :class:`WorkloadParams`,
+:class:`HybridModel`, :class:`SamplingEstimator`) so capacity-planning
+scripts need no internal imports.
+"""
+
+from repro.analytics.casestudy import HybridModel
+from repro.analytics.estimator import SamplingEstimator
+from repro.analytics.model import AnalyticalModel, WorkloadParams
+from repro.api.scenario import Scenario
+from repro.api.session import Comparison, Session, StudyOutcome
+from repro.core.config import TrainingConfig
+from repro.core.results import RunResult
+from repro.experiments.workloads import WORKLOADS, Workload, get_workload
+from repro.sweep.grid import SweepPoint, expand_grid
+from repro.sweep.study import (
+    Study,
+    StudyContext,
+    all_studies,
+    get_study,
+    study,
+    study_names,
+)
+
+__all__ = [
+    "AnalyticalModel",
+    "Comparison",
+    "HybridModel",
+    "RunResult",
+    "SamplingEstimator",
+    "Scenario",
+    "Session",
+    "Study",
+    "StudyContext",
+    "StudyOutcome",
+    "SweepPoint",
+    "TrainingConfig",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadParams",
+    "all_studies",
+    "compare",
+    "expand_grid",
+    "get_study",
+    "get_workload",
+    "run",
+    "study",
+    "study_names",
+    "sweep",
+]
+
+
+def run(scenario, *, substrate: str | None = None) -> RunResult:
+    """Train one scenario in a throwaway in-memory session."""
+    return Session(None).run(scenario, substrate=substrate)
+
+
+def sweep(study, **kwargs) -> StudyOutcome:
+    """Run a study (by name, object, or scenario list) in memory."""
+    return Session(None).sweep(study, **kwargs)
+
+
+def compare(scenarios, *, substrate: str | None = None) -> Comparison:
+    """Run labelled scenarios head to head in memory."""
+    return Session(None).compare(scenarios, substrate=substrate)

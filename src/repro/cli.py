@@ -7,12 +7,16 @@ Usage (installed as a module)::
     python -m repro.cli workloads
     python -m repro.cli estimate --model lr --dataset higgs \
         --algorithm ma_sgd --lr 0.05 --threshold 0.66
+    python -m repro.cli sweep --list
     python -m repro.cli sweep --experiment fig11 --jobs 4 --resume
 
-`train` prints a RunResult summary plus breakdowns; `workloads` lists
-the tuned Table-4 workloads; `estimate` runs the sampling-based
-epochs-to-convergence estimator; `sweep` fans an experiment grid over
-a process pool, writing one resumable JSON artifact per point.
+`train` prints a RunResult summary plus breakdowns — its flags are
+derived mechanically from the ``TrainingConfig`` dataclass fields, so
+the CLI can never drift from the config; `workloads` lists the tuned
+Table-4 workloads; `estimate` runs the sampling-based
+epochs-to-convergence estimator; `sweep` runs any registered study
+(``--list`` prints the catalog) over a process pool, writing one
+resumable JSON artifact per point.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ for _var in BLAS_THREAD_VARS:
     os.environ.setdefault(_var, "1")
 
 import argparse
+import dataclasses
 import sys
 
 from repro.analytics.estimator import SamplingEstimator
@@ -35,72 +40,65 @@ from repro.core.config import TrainingConfig
 from repro.core.driver import train
 from repro.experiments.workloads import WORKLOADS
 
+# Scalar parsers for derived flags. `from __future__ import annotations`
+# makes dataclass field types strings ("float | None"); the first union
+# alternative names the parser (argparse only calls it on user input, so
+# an Optional field's None default survives untouched).
+_FLAG_TYPES = {"int": int, "float": float, "str": str, "bool": bool}
+
+
+def _field_type(f: dataclasses.Field) -> type:
+    return _FLAG_TYPES[str(f.type).split("|")[0].strip()]
+
+
+def _config_fields() -> list[dataclasses.Field]:
+    return [f for f in dataclasses.fields(TrainingConfig) if f.init]
+
+
+def add_config_flags(parser: argparse.ArgumentParser) -> None:
+    """Derive one ``--flag`` per ``TrainingConfig`` init field.
+
+    Name, type and default come from the dataclass; help text and
+    choices from the field's metadata (see ``_cli`` in
+    repro.core.config). Config and CLI therefore cannot drift: a new
+    config field IS a new train flag, and the parity test in
+    tests/test_cli.py pins the bijection.
+    """
+    for f in _config_fields():
+        flag = "--" + f.name.replace("_", "-")
+        if _field_type(f) is bool:
+            parser.add_argument(
+                flag, action=argparse.BooleanOptionalAction,
+                default=f.default, help=f.metadata.get("help"),
+            )
+            continue
+        kwargs: dict = {"type": _field_type(f), "help": f.metadata.get("help")}
+        if "choices" in f.metadata:
+            kwargs["choices"] = list(f.metadata["choices"])
+        if f.default is dataclasses.MISSING:
+            kwargs["required"] = True
+        else:
+            kwargs["default"] = f.default
+        parser.add_argument(flag, **kwargs)
+
+
+def config_from_args(args: argparse.Namespace) -> TrainingConfig:
+    """Build the config from the derived flags (one kwarg per field)."""
+    return TrainingConfig(
+        **{f.name: getattr(args, f.name) for f in _config_fields()}
+    )
+
 
 def _add_train_parser(subparsers) -> None:
-    p = subparsers.add_parser("train", help="run one simulated training job")
-    p.add_argument("--model", required=True,
-                   choices=["lr", "svm", "kmeans", "mobilenet", "resnet50"])
-    p.add_argument("--dataset", required=True,
-                   choices=["higgs", "rcv1", "cifar10", "yfcc100m", "criteo"])
-    p.add_argument("--algorithm", default="ma_sgd",
-                   choices=["ga_sgd", "ma_sgd", "admm", "em"])
-    p.add_argument("--system", default="lambdaml",
-                   choices=["lambdaml", "pytorch", "angel", "hybridps"])
-    p.add_argument("--workers", type=int, default=10)
-    p.add_argument("--channel", default="s3",
-                   choices=["s3", "memcached", "redis", "dynamodb"])
-    p.add_argument("--pattern", default="allreduce",
-                   choices=["allreduce", "scatterreduce"])
-    p.add_argument("--protocol", default="bsp", choices=["bsp", "asp"])
-    p.add_argument("--instance", default="t2.medium")
-    p.add_argument("--batch-size", type=int, default=10_000)
-    p.add_argument("--batch-scope", default="global", choices=["global", "per_worker"])
-    p.add_argument("--lr", type=float, default=0.05)
-    p.add_argument("--k", type=int, default=10)
-    p.add_argument("--loss-threshold", type=float, default=None)
-    p.add_argument("--max-epochs", type=float, default=40.0)
-    p.add_argument("--seed", type=int, default=20210620)
-    # Fault plane (repro.faults): deterministic crash / storage-error
-    # injection. Crash knobs require BSP on FaaS or IaaS.
-    p.add_argument("--crash-rate", type=float, default=0.0,
-                   help="expected crashes per worker per simulated hour")
-    p.add_argument("--mttf-s", type=float, default=None,
-                   help="mean time to failure per worker (overrides --crash-rate)")
-    p.add_argument("--storage-error-rate", type=float, default=0.0,
-                   help="probability a storage put/get transiently fails")
-    p.add_argument("--storage-retry-limit", type=int, default=5,
-                   help="retries before a flaky storage op gives up")
-    p.add_argument("--storage-retry-base-s", type=float, default=0.1,
-                   help="first exponential-backoff gap between retries")
-    p.add_argument("--cold-start-jitter", type=float, default=0.0,
-                   help="relative spread of re-invocation cold starts")
+    p = subparsers.add_parser(
+        "train",
+        help="run one simulated training job (flags mirror TrainingConfig)",
+    )
+    add_config_flags(p)
 
 
 def _run_train(args: argparse.Namespace) -> int:
-    config = TrainingConfig(
-        model=args.model,
-        dataset=args.dataset,
-        algorithm=args.algorithm,
-        system=args.system,
-        workers=args.workers,
-        channel=args.channel,
-        pattern=args.pattern,
-        protocol=args.protocol,
-        instance=args.instance,
-        batch_size=args.batch_size,
-        batch_scope=args.batch_scope,
-        lr=args.lr,
-        k=args.k,
-        loss_threshold=args.loss_threshold,
-        max_epochs=args.max_epochs,
-        seed=args.seed,
-        crash_rate=args.crash_rate,
-        mttf_s=args.mttf_s,
-        storage_error_rate=args.storage_error_rate,
-        storage_retry_limit=args.storage_retry_limit,
-        storage_retry_base_s=args.storage_retry_base_s,
-        cold_start_jitter=args.cold_start_jitter,
-    )
+    config = config_from_args(args)
     result = train(config)
     print(result.summary())
     print("\ntime breakdown (s):")
@@ -162,14 +160,19 @@ def _positive_float(text: str) -> float:
 
 
 def _add_sweep_parser(subparsers) -> None:
-    from repro.sweep.registry import EXPERIMENTS
-
     p = subparsers.add_parser(
         "sweep",
-        help="run an experiment grid over a process pool with resumable "
-        "per-point JSON artifacts",
+        help="run a registered study's grid over a process pool with "
+        "resumable per-point JSON artifacts",
     )
-    p.add_argument("--experiment", required=True, choices=sorted(EXPERIMENTS))
+    # No choices= here: that would import every experiment module just
+    # to build the parser for unrelated commands. An unknown name is
+    # rejected by get_study() with the full known-names list.
+    p.add_argument("--experiment", metavar="STUDY",
+                   help="registered study to run (see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="print every registered study (kind, grid size, "
+                   "unique statistical fingerprints) and exit")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (1 = run inline)")
     p.add_argument("--out", default=None,
@@ -232,9 +235,33 @@ def _dry_run_sweep(args: argparse.Namespace, experiment, points, out_dir) -> int
     return 0
 
 
+def _list_studies(args: argparse.Namespace) -> int:
+    """``sweep --list``: the catalog, with the ``--dry-run`` accounting."""
+    from repro.sweep.orchestrator import plan_sweep
+    from repro.sweep.study import all_studies
+
+    studies = all_studies()
+    width = max(len(name) for name in studies)
+    print(f"{'study':<{width}} {'kind':<6} {'points':>6} {'stat-fp':>7}  description")
+    for name, entry in studies.items():
+        points = entry.points(max_epochs=args.max_epochs, seed=args.seed)
+        plan = plan_sweep(points)
+        print(
+            f"{name:<{width}} {entry.kind:<6} {plan['points']:>6} "
+            f"{plan['unique_stat_fingerprints']:>7}  {entry.description}"
+        )
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     from repro.sweep.orchestrator import run_sweep
-    from repro.sweep.registry import get_experiment
+    from repro.sweep.study import get_study
+
+    if args.list:
+        return _list_studies(args)
+    if args.experiment is None:
+        print("error: sweep needs --experiment NAME (or --list)", file=sys.stderr)
+        return 2
 
     # setdefault above respects a pre-set host env — but multithreaded
     # BLAS reorders float sums, so artifacts would not be comparable
@@ -248,7 +275,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    experiment = get_experiment(args.experiment)
+    experiment = get_study(args.experiment)
     points = experiment.points(max_epochs=args.max_epochs, seed=args.seed)
     out_dir = args.out or os.path.join("sweeps", experiment.name)
     if args.dry_run:

@@ -91,74 +91,162 @@ STAT_FIELDS = (
 )
 
 
+def _cli(help: str, choices: tuple[str, ...] | None = None) -> dict:
+    """Field metadata consumed by the derived ``repro.cli train`` flags.
+
+    Every init field gets exactly one mechanically generated flag
+    (``--field-name``) whose type and default come from the dataclass
+    itself — this metadata only adds the help text and, where the value
+    set is closed, the argparse choices. The parity test in
+    tests/test_cli.py pins the field <-> flag bijection.
+    """
+    meta: dict = {"help": help}
+    if choices is not None:
+        meta["choices"] = choices
+    return meta
+
+
 @dataclass
 class TrainingConfig:
     """One end-to-end training run."""
 
-    model: str  # lr | svm | kmeans | mobilenet | resnet50
-    dataset: str  # higgs | rcv1 | cifar10 | yfcc100m | criteo
-    algorithm: str  # ga_sgd | ma_sgd | admm | em
-    system: str = "lambdaml"  # lambdaml | pytorch | angel | hybridps
-    workers: int = 10
+    model: str = field(
+        metadata=_cli("model to train", ("lr", "svm", "kmeans", "mobilenet", "resnet50"))
+    )
+    dataset: str = field(
+        metadata=_cli("dataset", ("higgs", "rcv1", "cifar10", "yfcc100m", "criteo"))
+    )
+    # MA-SGD is the only algorithm valid on every convex and deep model,
+    # hence the default; EM is kmeans-only, ADMM convex-only.
+    algorithm: str = field(
+        default="ma_sgd",
+        metadata=_cli("distributed optimization algorithm",
+                      ("ga_sgd", "ma_sgd", "admm", "em")),
+    )
+    system: str = field(
+        default="lambdaml",
+        metadata=_cli("system being emulated", SYSTEMS),
+    )
+    workers: int = field(default=10, metadata=_cli("worker count"))
 
     # Communication channel / pattern / protocol (FaaS dimensions).
-    channel: str = "s3"  # s3 | memcached | redis | dynamodb
-    cache_node: str = "cache.t3.small"
+    channel: str = field(
+        default="s3",
+        metadata=_cli("FaaS communication channel",
+                      ("s3", "memcached", "redis", "dynamodb")),
+    )
+    cache_node: str = field(
+        default="cache.t3.small", metadata=_cli("ElastiCache node type")
+    )
     # The paper's micro-benchmarks (§4) launch ElastiCache before
     # triggering the Lambdas, excluding its ~140 s boot from the
     # measurement; the end-to-end comparisons (Table 1) include it.
-    channel_prestarted: bool = False
-    pattern: str = "allreduce"  # allreduce | scatterreduce
-    protocol: str = "bsp"  # bsp | asp
+    channel_prestarted: bool = field(
+        default=False,
+        metadata=_cli("launch the cache channel before the Lambdas (§4 protocol)"),
+    )
+    pattern: str = field(
+        default="allreduce",
+        metadata=_cli("communication pattern", ("allreduce", "scatterreduce")),
+    )
+    protocol: str = field(
+        default="bsp", metadata=_cli("synchronization protocol", ("bsp", "asp"))
+    )
     # How often workers poll the storage service for merged files in
     # the synchronous protocol (§3.2.4's "keep polling ... until the
     # name of the merged file shows up").
-    poll_interval_s: float = 0.05
+    poll_interval_s: float = field(
+        default=0.05, metadata=_cli("storage polling interval (seconds)")
+    )
 
     # Infrastructure knobs.
-    instance: str = "t2.medium"  # IaaS worker VM type
-    lambda_memory_gb: float = 3.0
+    instance: str = field(
+        default="t2.medium", metadata=_cli("IaaS worker VM type")
+    )
+    lambda_memory_gb: float = field(
+        default=3.0, metadata=_cli("Lambda memory size (GB)")
+    )
     # Function lifetime; AWS caps it at 900 s. Shorter values are
     # useful for exercising the Figure-5 checkpoint/re-invoke path on
     # fast workloads (fault-injection tests).
-    lambda_lifetime_s: float = 900.0
-    ps_instance: str = "c5.4xlarge"
-    rpc: str = "grpc"  # hybrid PS RPC framework
+    lambda_lifetime_s: float = field(
+        default=900.0, metadata=_cli("Lambda function lifetime (seconds)")
+    )
+    ps_instance: str = field(
+        default="c5.4xlarge", metadata=_cli("hybrid parameter-server VM type")
+    )
+    rpc: str = field(
+        default="grpc", metadata=_cli("hybrid PS RPC framework", ("grpc", "thrift"))
+    )
 
     # Optimization hyper-parameters.
-    batch_size: int = 10_000  # logical; see batch_scope
-    batch_scope: str = "global"  # global | per_worker
-    lr: float = 0.1
-    k: int = 10  # clusters for kmeans
-    l2: float = 1e-4
-    admm_rho: float = 0.05
-    admm_scans: int = 10
-    ma_sync_epochs: int = 1
+    batch_size: int = field(
+        default=10_000, metadata=_cli("logical minibatch (see --batch-scope)")
+    )
+    batch_scope: str = field(
+        default="global",
+        metadata=_cli("minibatch scope", ("global", "per_worker")),
+    )
+    lr: float = field(default=0.1, metadata=_cli("learning rate"))
+    k: int = field(default=10, metadata=_cli("clusters for kmeans"))
+    l2: float = field(default=1e-4, metadata=_cli("L2 regularisation"))
+    admm_rho: float = field(default=0.05, metadata=_cli("ADMM penalty rho"))
+    admm_scans: int = field(default=10, metadata=_cli("ADMM scans per exchange"))
+    ma_sync_epochs: int = field(
+        default=1, metadata=_cli("MA-SGD local epochs between averages")
+    )
 
     # Statistical floor for the physical per-worker batch (see
     # repro.data.loader.make_shards).
-    min_local_batch: int = 1
+    min_local_batch: int = field(
+        default=1, metadata=_cli("physical per-worker batch floor")
+    )
 
     # Stopping.
-    loss_threshold: float | None = None
-    max_epochs: float = 60.0
+    loss_threshold: float | None = field(
+        default=None, metadata=_cli("stop when the loss dips below this")
+    )
+    max_epochs: float = field(default=60.0, metadata=_cli("epoch budget"))
 
     # Data handling / reproducibility.
-    partition_mode: str = "iid"  # iid | label-skew
-    data_scale: int | None = None  # None -> dataset default
-    seed: int = DEFAULT_SEED
-    straggler_jitter: float = 0.05  # relative speed spread across workers
+    partition_mode: str = field(
+        default="iid", metadata=_cli("data partitioning", ("iid", "label-skew"))
+    )
+    data_scale: int | None = field(
+        default=None, metadata=_cli("dataset down-scaling divisor (default: 1)")
+    )
+    seed: int = field(default=DEFAULT_SEED, metadata=_cli("RNG seed"))
+    straggler_jitter: float = field(
+        default=0.05, metadata=_cli("relative speed spread across workers")
+    )
 
     # Fault plane (systems axes: they move clocks and dollars, never a
     # merged float — see repro.faults). Crash faults kill worker
     # processes mid-run: FaaS workers then checkpoint every round and
     # recover; IaaS jobs restart from scratch.
-    crash_rate: float = 0.0  # expected crashes per worker per sim hour
-    mttf_s: float | None = None  # mean time to failure; overrides crash_rate
-    storage_error_rate: float = 0.0  # per-op transient failure probability
-    storage_retry_limit: int = 5  # retries before giving up on an op
-    storage_retry_base_s: float = 0.1  # first exponential-backoff gap
-    cold_start_jitter: float = 0.0  # relative spread of respawn cold starts
+    crash_rate: float = field(
+        default=0.0,
+        metadata=_cli("expected crashes per worker per simulated hour"),
+    )
+    mttf_s: float | None = field(
+        default=None,
+        metadata=_cli("mean time to failure per worker (overrides --crash-rate)"),
+    )
+    storage_error_rate: float = field(
+        default=0.0,
+        metadata=_cli("probability a storage put/get transiently fails"),
+    )
+    storage_retry_limit: int = field(
+        default=5, metadata=_cli("retries before a flaky storage op gives up")
+    )
+    storage_retry_base_s: float = field(
+        default=0.1,
+        metadata=_cli("first exponential-backoff gap between retries"),
+    )
+    cold_start_jitter: float = field(
+        default=0.0,
+        metadata=_cli("relative spread of re-invocation cold starts"),
+    )
 
     # Derived (filled by __post_init__).
     platform: str = field(init=False)

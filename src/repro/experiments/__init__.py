@@ -1,10 +1,18 @@
-"""Experiment modules: one per table/figure of the paper.
+"""Experiment modules: one per table/figure of the paper (plus extensions).
 
-Each module exposes a `run(...)` function returning plain data
-structures (lists of rows / series) plus a `format_report(...)` helper
-that renders the same rows the paper reports. The benchmark harness in
-`benchmarks/` calls these with scaled-down settings; the functions also
-accept the full-scale parameters for longer runs.
+Every module registers a :class:`~repro.sweep.study.Study` via the
+``@study`` decorator: a named grid declaration (``points(ctx)``), an
+artifact aggregator and a report renderer. The registry auto-discovers
+them by importing this package's modules, so ``repro.cli sweep
+--experiment <name>`` (and ``repro.api``'s ``Session.sweep``) covers
+the whole catalog with ``--jobs/--resume/--substrate auto``.
+
+Each module also keeps its legacy ``run(...)`` helper — now a thin shim
+routing through the sweep orchestrator, verified bit-identical to the
+old hand-rolled loops — returning plain data structures, with a
+``format_report(...)`` renderer mirroring the paper's tables. The
+benchmark harness in ``benchmarks/`` calls these with scaled-down
+settings; the functions also accept the full-scale parameters.
 """
 
 from repro.experiments.workloads import WORKLOADS, Workload, get_workload

@@ -7,16 +7,21 @@ with ten workers, on both FaaS and IaaS, and report the speed-ups.
 
 The paper reports ~9-10x for the convex models on Higgs (10 workers)
 and ~5-7x for MobileNet, i.e. scaling is real but sublinear.
+
+Each case is three grid points (single-machine baseline, FaaS fleet,
+IaaS cluster) run by the sweep orchestrator; :func:`aggregate` derives
+the speed-up rows from the artifacts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import TrainingConfig
-from repro.core.driver import train
 from repro.experiments.report import format_table
 from repro.experiments.workloads import get_workload
+from repro.sweep.grid import SweepPoint
+from repro.sweep.orchestrator import run_sweep
+from repro.sweep.study import study
 
 CASES = [
     ("lr", "higgs"),
@@ -36,41 +41,87 @@ class SanityRow:
     iaas_speedup: float
 
 
+def case_points(
+    model: str, dataset: str, workers: int = 10, max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> list[SweepPoint]:
+    """Baseline + FaaS + IaaS points for one workload."""
+    workload = get_workload(model, dataset)
+    cap = max_epochs or workload.max_epochs
+    case = f"{model}/{dataset}"
+
+    def make_point(role: str, system: str, w: int) -> SweepPoint:
+        return SweepPoint(
+            "cost_sanity", f"{case} {role}",
+            config_kwargs=dict(
+                model=model,
+                dataset=dataset,
+                algorithm=workload.algorithm,
+                system=system,
+                workers=w,
+                channel="s3",
+                batch_size=workload.batch_size,
+                batch_scope=workload.batch_scope,
+                lr=workload.lr,
+                k=workload.k,
+                loss_threshold=workload.threshold,
+                max_epochs=cap,
+                seed=seed,
+            ),
+            tags={"case": case, "role": role},
+        )
+
+    return [
+        make_point("single", "pytorch", 1),
+        make_point("faas", "lambdaml", workers),
+        make_point("iaas", "pytorch", workers),
+    ]
+
+
+def sweep_points(
+    max_epochs: float | None = None, seed: int = 20210620
+) -> list[SweepPoint]:
+    points = []
+    for model, dataset in CASES:
+        points += case_points(model, dataset, max_epochs=max_epochs, seed=seed)
+    return points
+
+
+def aggregate(artifacts: list[dict]) -> list[SanityRow]:
+    """Derive the speed-up rows from artifacts (case order preserved)."""
+    grouped: dict[str, dict[str, dict]] = {}
+    for artifact in artifacts:
+        tags = artifact["tags"]
+        grouped.setdefault(tags["case"], {})[tags["role"]] = artifact
+    rows = []
+    for case, by_role in grouped.items():
+        if {"single", "faas", "iaas"} - by_role.keys():
+            continue  # interrupted sweep directory
+        single_s = by_role["single"]["result"]["duration_s"]
+        faas_s = by_role["faas"]["result"]["duration_s"]
+        iaas_s = by_role["iaas"]["result"]["duration_s"]
+        rows.append(
+            SanityRow(
+                workload=case,
+                single_s=single_s,
+                faas_s=faas_s,
+                iaas_s=iaas_s,
+                faas_speedup=single_s / faas_s,
+                iaas_speedup=single_s / iaas_s,
+            )
+        )
+    return rows
+
+
 def run_case(
     model: str, dataset: str, workers: int = 10, max_epochs: float | None = None,
     seed: int = 20210620,
 ) -> SanityRow:
-    workload = get_workload(model, dataset)
-    cap = max_epochs or workload.max_epochs
-
-    def config(system: str, w: int) -> TrainingConfig:
-        return TrainingConfig(
-            model=model,
-            dataset=dataset,
-            algorithm=workload.algorithm,
-            system=system,
-            workers=w,
-            channel="s3",
-            batch_size=workload.batch_size,
-            batch_scope=workload.batch_scope,
-            lr=workload.lr,
-            k=workload.k,
-            loss_threshold=workload.threshold,
-            max_epochs=cap,
-            seed=seed,
-        )
-
-    single = train(config("pytorch", 1))
-    faas = train(config("lambdaml", workers))
-    iaas = train(config("pytorch", workers))
-    return SanityRow(
-        workload=f"{model}/{dataset}",
-        single_s=single.duration_s,
-        faas_s=faas.duration_s,
-        iaas_s=iaas.duration_s,
-        faas_speedup=single.duration_s / faas.duration_s,
-        iaas_speedup=single.duration_s / iaas.duration_s,
+    """One workload's sanity row (legacy shim)."""
+    points = case_points(
+        model, dataset, workers=workers, max_epochs=max_epochs, seed=seed
     )
+    return aggregate(run_sweep(points).artifacts)[0]
 
 
 def run(cases=CASES, max_epochs: float | None = None, seed: int = 20210620):
@@ -86,3 +137,15 @@ def format_report(rows: list[SanityRow]) -> str:
             for r in rows
         ],
     )
+
+
+@study("cost_sanity")
+class CostSanityStudy:
+    """COST sanity check: distributed FaaS/IaaS speed-ups over a single machine"""
+
+    @staticmethod
+    def points(ctx):
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+    aggregate = staticmethod(aggregate)
+    format_report = staticmethod(format_report)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.data.datasets import DATASETS
 from repro.data.synth import generate
 from repro.experiments.report import format_table
+from repro.sweep.study import study
 
 MICRO = ("cifar10", "rcv1", "higgs")
 END_TO_END = ("cifar10", "yfcc100m", "criteo")
@@ -36,3 +37,11 @@ def format_report(rows) -> str:
         ["dataset", "size", "#instances", "#features", "sparse", "physical rows"],
         rows,
     )
+
+
+@study("datasets", kind="direct")
+class DatasetsStudy:
+    """Figure 6 dataset table: logical specs next to the physical stand-ins"""
+
+    aggregate = staticmethod(lambda artifacts: run())
+    format_report = staticmethod(format_report)

@@ -10,18 +10,27 @@ Paper's measured values for reference (seconds):
   Angel     457 / 35 / 125 / 1.1 -> 618 (161)
   HybridPS  123 / 9 / 80 / 1.0 -> 213 (90)
   LambdaML    1 / 9 / 80 / 2   ->  92 (91)
+
+The four systems form a declarative grid (:func:`sweep_points`) run by
+the sweep orchestrator; :func:`aggregate` rebuilds the breakdown rows
+from per-point JSON artifacts (the time breakdown is persisted in
+full). Note the HybridPS point is timing-coupled, so ``--substrate
+auto`` runs it exact and the other three through record/replay.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import TrainingConfig
-from repro.core.driver import train
 from repro.core.results import RunResult
 from repro.experiments.report import format_table
+from repro.sweep.artifacts import result_from_artifact
+from repro.sweep.grid import SweepPoint
+from repro.sweep.orchestrator import run_sweep
+from repro.sweep.study import study
 
 SYSTEMS = ("pytorch", "angel", "hybridps", "lambdaml")
+DEFAULT_EPOCHS = 10.0
 
 
 @dataclass
@@ -35,31 +44,54 @@ class BreakdownRow:
     total_without_startup_s: float
 
 
+def sweep_points(
+    max_epochs: float | None = None,
+    workers: int = 10,
+    seed: int = 20210620,
+) -> list[SweepPoint]:
+    """One fixed-epoch point per system (no early stopping)."""
+    epochs = max_epochs or DEFAULT_EPOCHS
+    return [
+        SweepPoint(
+            "fig10",
+            f"{system},W={workers},{epochs:g}ep",
+            config_kwargs=dict(
+                model="lr",
+                dataset="higgs",
+                # The breakdown fixes epoch count, so MA-SGD (one exchange
+                # per epoch) matches the paper's per-epoch communication.
+                algorithm="ma_sgd" if system != "hybridps" else "ga_sgd",
+                system=system,
+                workers=workers,
+                channel="s3",
+                batch_size=10_000,
+                lr=0.05,
+                loss_threshold=None,  # run the full epoch budget
+                max_epochs=epochs,
+                seed=seed,
+            ),
+            tags={"system": system},
+        )
+        for system in SYSTEMS
+    ]
+
+
+def aggregate(artifacts: list[dict]) -> list[BreakdownRow]:
+    """Rebuild the breakdown rows from sweep artifacts (point order)."""
+    return [
+        _to_row(artifact["tags"]["system"], result_from_artifact(artifact))
+        for artifact in artifacts
+    ]
+
+
 def run(
-    epochs: float = 10.0,
+    epochs: float = DEFAULT_EPOCHS,
     workers: int = 10,
     seed: int = 20210620,
 ) -> list[BreakdownRow]:
-    rows = []
-    for system in SYSTEMS:
-        config = TrainingConfig(
-            model="lr",
-            dataset="higgs",
-            # The breakdown fixes epoch count, so MA-SGD (one exchange
-            # per epoch) matches the paper's per-epoch communication.
-            algorithm="ma_sgd" if system != "hybridps" else "ga_sgd",
-            system=system,
-            workers=workers,
-            channel="s3",
-            batch_size=10_000,
-            lr=0.05,
-            loss_threshold=None,  # run the full ten epochs
-            max_epochs=epochs,
-            seed=seed,
-        )
-        result = train(config)
-        rows.append(_to_row(system, result))
-    return rows
+    """Legacy helper: run the grid, return the rows (system order)."""
+    points = sweep_points(max_epochs=epochs, workers=workers, seed=seed)
+    return aggregate(run_sweep(points).artifacts)
 
 
 def _to_row(system: str, result: RunResult) -> BreakdownRow:
@@ -87,3 +119,15 @@ def format_report(rows: list[BreakdownRow]) -> str:
             for r in rows
         ],
     )
+
+
+@study("fig10")
+class Fig10Study:
+    """per-phase runtime breakdown (startup/load/compute/comm) across all four systems"""
+
+    @staticmethod
+    def points(ctx):
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+    aggregate = staticmethod(aggregate)
+    format_report = staticmethod(format_report)

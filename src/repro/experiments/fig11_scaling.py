@@ -26,6 +26,7 @@ from repro.experiments.report import format_table
 from repro.experiments.workloads import get_workload
 from repro.sweep.grid import SweepPoint, expand_grid
 from repro.sweep.orchestrator import run_sweep
+from repro.sweep.study import study
 
 # Default grids. FaaS deliberately crosses the paper's ceiling: Fig. 11
 # stops near 300 workers, our engine sweeps to 512 and beyond.
@@ -210,3 +211,15 @@ def format_report(profiles: list[ScalingProfile]) -> str:
             )
         )
     return "\n\n".join(blocks)
+
+
+@study("fig11")
+class Fig11Study:
+    """runtime/cost vs worker count; FaaS grid crosses the paper's ~300-worker ceiling up to 512"""
+
+    @staticmethod
+    def points(ctx):
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+    aggregate = staticmethod(aggregate)
+    format_report = staticmethod(format_report)

@@ -24,6 +24,7 @@ from repro.experiments.report import format_table
 from repro.experiments.workloads import get_workload
 from repro.sweep.grid import SweepPoint
 from repro.sweep.orchestrator import run_sweep
+from repro.sweep.study import study
 
 
 @dataclass
@@ -191,3 +192,15 @@ def format_report(scatters: list[Scatter]) -> str:
             )
         )
     return "\n\n".join(blocks)
+
+
+@study("fig12")
+class Fig12Study:
+    """runtime/cost scatter across instances and learning rates"""
+
+    @staticmethod
+    def points(ctx):
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+    aggregate = staticmethod(aggregate)
+    format_report = staticmethod(format_report)

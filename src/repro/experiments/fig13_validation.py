@@ -5,23 +5,35 @@
     runtime, for both LambdaML (FaaS) and distributed PyTorch (IaaS).
 
 (b) Use the 10%-sampling estimator to predict epochs-to-threshold for
-    LR/SVM on Higgs/YFCC100M under both SGD and ADMM, then feed the
-    estimates through the analytical model and compare against the
-    simulated end-to-end runtime.
+    LR/SVM on Higgs under both SGD and ADMM, then feed the estimates
+    through the analytical model and compare against the simulated
+    end-to-end runtime.
+
+The *simulated* halves of both panels are a declarative grid
+(:func:`sweep_points`) run by the sweep orchestrator; the analytical
+predictions and the sampling estimator are recomputed by
+:func:`aggregate` from the artifacts (they are deterministic functions
+of each point's config, so the artifacts stay pure simulation results).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analytics.estimator import SamplingEstimator
 from repro.analytics.model import AnalyticalModel, WorkloadParams
-from repro.core.config import TrainingConfig
-from repro.core.driver import train
 from repro.data.datasets import get_spec
 from repro.experiments.report import format_table
 from repro.experiments.workloads import get_workload
 from repro.models.zoo import get_model_info
+from repro.sweep.grid import SweepPoint
+from repro.sweep.orchestrator import run_sweep
+from repro.sweep.study import study
+
+EPOCH_GRID = (1, 5, 10, 25, 50, 100)
+ESTIMATOR_CASES = (("lr", "higgs"), ("svm", "higgs"))
+ESTIMATOR_ALGORITHMS = ("ma_sgd", "admm")
+WORKERS = 10
 
 
 def _params_for(model: str, dataset: str, algorithm: str, workers: int) -> WorkloadParams:
@@ -55,47 +67,6 @@ class ValidationPoint:
     iaas_predicted_s: float
 
 
-def run_fixed_epochs(
-    epoch_grid=(1, 5, 10, 25, 50, 100),
-    workers: int = 10,
-    seed: int = 20210620,
-) -> list[ValidationPoint]:
-    """Figure 13a: predicted vs actual runtime at fixed epoch counts."""
-    workload = get_workload("lr", "higgs")
-    params = _params_for("lr", "higgs", "ma_sgd", workers)
-    model = AnalyticalModel(params)
-    points = []
-    for epochs in epoch_grid:
-        faas = train(
-            TrainingConfig(
-                model="lr", dataset="higgs", algorithm="ma_sgd", system="lambdaml",
-                workers=workers, channel="s3", batch_size=workload.batch_size,
-                lr=workload.lr, loss_threshold=None, max_epochs=float(epochs), seed=seed,
-            )
-        )
-        iaas = train(
-            TrainingConfig(
-                model="lr", dataset="higgs", algorithm="ma_sgd", system="pytorch",
-                workers=workers, instance="t2.medium", batch_size=workload.batch_size,
-                lr=workload.lr, loss_threshold=None, max_epochs=float(epochs), seed=seed,
-            )
-        )
-        scaled = WorkloadParams(
-            **{**params.__dict__, "epochs_faas": float(epochs), "epochs_iaas": float(epochs)}
-        )
-        scaled_model = AnalyticalModel(scaled)
-        points.append(
-            ValidationPoint(
-                epochs=float(epochs),
-                faas_actual_s=faas.duration_s,
-                faas_predicted_s=scaled_model.faas_seconds(workers),
-                iaas_actual_s=iaas.duration_s,
-                iaas_predicted_s=scaled_model.iaas_seconds(workers),
-            )
-        )
-    return points
-
-
 @dataclass
 class EstimatorPoint:
     workload: str
@@ -106,53 +77,181 @@ class EstimatorPoint:
     actual_runtime_s: float
 
 
-def run_estimator(
-    cases=(("lr", "higgs"), ("svm", "higgs")),
-    algorithms=("ma_sgd", "admm"),
-    workers: int = 10,
+@dataclass
+class Fig13Result:
+    """Both panels: fixed-epoch validation + estimator validation."""
+
+    fixed: list[ValidationPoint] = field(default_factory=list)
+    estimator: list[EstimatorPoint] = field(default_factory=list)
+
+
+def fixed_epoch_points(
+    epoch_grid=EPOCH_GRID,
+    workers: int = WORKERS,
     seed: int = 20210620,
-) -> list[EstimatorPoint]:
-    """Figure 13b: sampling estimator + analytical model vs simulation."""
-    estimator = SamplingEstimator(sample_fraction=0.1, seed=seed)
+) -> list[SweepPoint]:
+    """Figure 13a grid: (epochs x platform) fixed-epoch runs."""
+    workload = get_workload("lr", "higgs")
     points = []
-    for model_name, dataset in cases:
-        workload = get_workload(model_name, dataset)
-        for algorithm in algorithms:
-            estimate = estimator.estimate(
-                model_name, dataset, algorithm,
-                lr=workload.lr, threshold=workload.threshold,
-                batch_size=max(32, workload.batch_size // 100),
-                max_epochs=workload.max_epochs,
-            )
-            actual = train(
-                TrainingConfig(
-                    model=model_name, dataset=dataset, algorithm=algorithm,
-                    system="lambdaml", workers=workers, channel="s3",
-                    batch_size=workload.batch_size, lr=workload.lr,
-                    loss_threshold=workload.threshold,
-                    max_epochs=workload.max_epochs, seed=seed,
-                )
-            )
-            params = _params_for(model_name, dataset, algorithm, workers)
-            scaled = WorkloadParams(
-                **{
-                    **params.__dict__,
-                    "epochs_faas": estimate.epochs,
-                    "epochs_iaas": estimate.epochs,
-                }
-            )
-            predicted = AnalyticalModel(scaled).faas_seconds(workers)
+    for epochs in epoch_grid:
+        for platform, kwargs in (
+            ("faas", dict(system="lambdaml", channel="s3")),
+            ("iaas", dict(system="pytorch", instance="t2.medium")),
+        ):
             points.append(
-                EstimatorPoint(
-                    workload=f"{model_name}/{dataset}",
-                    algorithm=algorithm,
-                    estimated_epochs=estimate.epochs,
-                    actual_epochs=actual.epochs,
-                    predicted_runtime_s=predicted,
-                    actual_runtime_s=actual.duration_s,
+                SweepPoint(
+                    "fig13",
+                    f"13a {platform},{epochs:g}ep",
+                    config_kwargs=dict(
+                        model="lr", dataset="higgs", algorithm="ma_sgd",
+                        workers=workers, batch_size=workload.batch_size,
+                        lr=workload.lr, loss_threshold=None,
+                        max_epochs=float(epochs), seed=seed, **kwargs,
+                    ),
+                    tags={"part": "13a", "platform": platform},
                 )
             )
     return points
+
+
+def estimator_points(
+    cases=ESTIMATOR_CASES,
+    algorithms=ESTIMATOR_ALGORITHMS,
+    workers: int = WORKERS,
+    max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> list[SweepPoint]:
+    """Figure 13b grid: the end-to-end actuals the estimates are judged against."""
+    points = []
+    for model_name, dataset in cases:
+        workload = get_workload(model_name, dataset)
+        cap = workload.max_epochs if max_epochs is None else min(
+            workload.max_epochs, max_epochs
+        )
+        for algorithm in algorithms:
+            points.append(
+                SweepPoint(
+                    "fig13",
+                    f"13b {model_name}/{dataset} {algorithm}",
+                    config_kwargs=dict(
+                        model=model_name, dataset=dataset, algorithm=algorithm,
+                        system="lambdaml", workers=workers, channel="s3",
+                        batch_size=workload.batch_size, lr=workload.lr,
+                        loss_threshold=workload.threshold,
+                        max_epochs=cap, seed=seed,
+                    ),
+                    tags={"part": "13b", "workload": f"{model_name}/{dataset}"},
+                )
+            )
+    return points
+
+
+def sweep_points(
+    max_epochs: float | None = None, seed: int = 20210620
+) -> list[SweepPoint]:
+    """The full Figure-13 grid (both panels' simulated actuals).
+
+    ``max_epochs`` down-scales panel (a) by dropping grid values above
+    the cap (keeping at least one point at the cap itself) and caps the
+    panel (b) workload budgets.
+    """
+    grid = EPOCH_GRID
+    if max_epochs is not None:
+        grid = tuple(e for e in EPOCH_GRID if e <= max_epochs) or (max_epochs,)
+    return fixed_epoch_points(epoch_grid=grid, seed=seed) + estimator_points(
+        max_epochs=max_epochs, seed=seed
+    )
+
+
+def aggregate(artifacts: list[dict]) -> Fig13Result:
+    """Rebuild both panels, recomputing predictions next to the actuals."""
+    result = Fig13Result()
+
+    # Panel (a): pair faas/iaas actuals per epoch count, in point order.
+    pairs: dict[float, dict[str, dict]] = {}
+    for artifact in artifacts:
+        if artifact["tags"]["part"] != "13a":
+            continue
+        epochs = artifact["config"]["max_epochs"]
+        pairs.setdefault(epochs, {})[artifact["tags"]["platform"]] = artifact
+    params = _params_for("lr", "higgs", "ma_sgd", WORKERS)
+    for epochs, sides in pairs.items():
+        if "faas" not in sides or "iaas" not in sides:
+            continue  # interrupted sweep directory: render what exists
+        workers = sides["faas"]["config"]["workers"]
+        scaled = WorkloadParams(
+            **{**params.__dict__, "epochs_faas": float(epochs), "epochs_iaas": float(epochs)}
+        )
+        scaled_model = AnalyticalModel(scaled)
+        result.fixed.append(
+            ValidationPoint(
+                epochs=float(epochs),
+                faas_actual_s=sides["faas"]["result"]["duration_s"],
+                faas_predicted_s=scaled_model.faas_seconds(workers),
+                iaas_actual_s=sides["iaas"]["result"]["duration_s"],
+                iaas_predicted_s=scaled_model.iaas_seconds(workers),
+            )
+        )
+
+    # Panel (b): one estimator pass per actual run. The estimator is
+    # seeded from the point's config, so this is deterministic — but it
+    # *is* real numpy work (the 10% sample actually trains).
+    for artifact in artifacts:
+        if artifact["tags"]["part"] != "13b":
+            continue
+        config = artifact["config"]
+        model_name, dataset = config["model"], config["dataset"]
+        workload = get_workload(model_name, dataset)
+        estimator = SamplingEstimator(sample_fraction=0.1, seed=config["seed"])
+        estimate = estimator.estimate(
+            model_name, dataset, config["algorithm"],
+            lr=workload.lr, threshold=workload.threshold,
+            batch_size=max(32, workload.batch_size // 100),
+            max_epochs=config["max_epochs"],
+        )
+        params = _params_for(model_name, dataset, config["algorithm"], config["workers"])
+        scaled = WorkloadParams(
+            **{
+                **params.__dict__,
+                "epochs_faas": estimate.epochs,
+                "epochs_iaas": estimate.epochs,
+            }
+        )
+        predicted = AnalyticalModel(scaled).faas_seconds(config["workers"])
+        result.estimator.append(
+            EstimatorPoint(
+                workload=f"{model_name}/{dataset}",
+                algorithm=config["algorithm"],
+                estimated_epochs=estimate.epochs,
+                actual_epochs=artifact["result"]["epochs"],
+                predicted_runtime_s=predicted,
+                actual_runtime_s=artifact["result"]["duration_s"],
+            )
+        )
+    return result
+
+
+def run_fixed_epochs(
+    epoch_grid=EPOCH_GRID,
+    workers: int = WORKERS,
+    seed: int = 20210620,
+) -> list[ValidationPoint]:
+    """Figure 13a: predicted vs actual runtime (legacy shim)."""
+    points = fixed_epoch_points(epoch_grid=epoch_grid, workers=workers, seed=seed)
+    return aggregate(run_sweep(points).artifacts).fixed
+
+
+def run_estimator(
+    cases=ESTIMATOR_CASES,
+    algorithms=ESTIMATOR_ALGORITHMS,
+    workers: int = WORKERS,
+    seed: int = 20210620,
+) -> list[EstimatorPoint]:
+    """Figure 13b: sampling estimator + analytical model (legacy shim)."""
+    points = estimator_points(
+        cases=cases, algorithms=algorithms, workers=workers, seed=seed
+    )
+    return aggregate(run_sweep(points).artifacts).estimator
 
 
 def format_report(points: list[ValidationPoint], est: list[EstimatorPoint]) -> str:
@@ -174,3 +273,18 @@ def format_report(points: list[ValidationPoint], est: list[EstimatorPoint]) -> s
         ],
     )
     return a + "\n\n" + b
+
+
+@study("fig13")
+class Fig13Study:
+    """analytical-model validation: fixed-epoch runtimes + sampling-estimator predictions"""
+
+    @staticmethod
+    def points(ctx):
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+    aggregate = staticmethod(aggregate)
+
+    @staticmethod
+    def format_report(result: Fig13Result) -> str:
+        return format_report(result.fixed, result.estimator)

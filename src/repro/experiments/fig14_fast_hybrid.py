@@ -26,6 +26,7 @@ from repro.data.datasets import get_spec
 from repro.experiments.report import format_table
 from repro.models.zoo import get_model_info
 from repro.pricing.catalog import DEFAULT_CATALOG
+from repro.sweep.study import study
 
 
 def _workload_params(model: str, dataset: str, epochs: float, rounds_per_epoch: float,
@@ -98,3 +99,11 @@ def format_report(rows: list[CaseStudyRow]) -> str:
         ["workload", "system", "runtime(s)", "cost($)"],
         [[r.workload, r.system, r.runtime_s, r.cost] for r in rows],
     )
+
+
+@study("fig14", kind="direct")
+class Fig14Study:
+    """Q1 what-if: a 10 Gbps FaaS<->IaaS link, evaluated analytically"""
+
+    aggregate = staticmethod(lambda artifacts: run())
+    format_report = staticmethod(format_report)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.analytics.casestudy import q2_hot_data
 from repro.experiments.fig14_fast_hybrid import _workload_params
 from repro.experiments.report import format_table
+from repro.sweep.study import study
 
 
 @dataclass
@@ -44,3 +45,11 @@ def format_report(rows: list[HotDataRow]) -> str:
         ["workload", "system", "runtime(s)", "cost($)"],
         [[r.workload, r.system, r.runtime_s, r.cost] for r in rows],
     )
+
+
+@study("fig15", kind="direct")
+class Fig15Study:
+    """Q2 what-if: hot data resident in a serving VM, evaluated analytically"""
+
+    aggregate = staticmethod(lambda artifacts: run())
+    format_report = staticmethod(format_report)

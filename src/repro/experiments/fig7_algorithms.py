@@ -10,17 +10,38 @@ at a small and a large worker count, reporting
   the paper's headline being that ADMM scales (~16x), MA-SGD scales
   modestly (~3.5x) and GA-SGD anti-scales (~0.08x) on convex models,
   while only GA-SGD converges stably on the neural model.
+
+The per-workload (algorithm x workers) grid is declarative
+(:func:`workload_points`) and runs on the sweep orchestrator;
+:func:`aggregate` rebuilds the comparisons — loss curves included —
+from per-point JSON artifacts. :func:`run` is the legacy single-panel
+helper, now a shim over the same machinery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import TrainingConfig
-from repro.core.driver import train
 from repro.core.results import RunResult
 from repro.experiments.report import format_series, format_table
 from repro.experiments.workloads import get_workload
+from repro.sweep.artifacts import result_from_artifact
+from repro.sweep.grid import SweepPoint
+from repro.sweep.orchestrator import run_sweep
+from repro.sweep.study import study
+
+# The figure's three panels: (model, dataset, (small W, large W)).
+# MobileNet runs at (10, 50): GA-SGD is the only stable algorithm there
+# and its per-batch communication makes W=300 a wall-clock sink.
+PANELS = [
+    ("lr", "higgs", (10, 300)),
+    ("svm", "higgs", (10, 300)),
+    ("mobilenet", "cifar10", (10, 50)),
+]
+# Epoch cap for GA-SGD in the default study grid. At large scale GA-SGD
+# is dominated by per-batch communication; a small cap keeps the sweep
+# bounded without changing its (anti-scaling) story.
+GA_SGD_STUDY_EPOCHS = 3.0
 
 
 @dataclass
@@ -37,12 +58,95 @@ class AlgorithmComparison:
             return None
         return base.duration_s / scaled_run.duration_s
 
+    def worker_counts(self) -> tuple[int, int]:
+        counts = sorted({w for _, w in self.results})
+        return (counts[0], counts[-1])
+
 
 def _algorithms_for(model: str) -> list[str]:
     if model in ("mobilenet", "resnet50"):
         # ADMM cannot optimise non-convex objectives (paper §4.2).
         return ["ga_sgd", "ma_sgd"]
     return ["admm", "ma_sgd", "ga_sgd"]
+
+
+def workload_points(
+    model: str = "lr",
+    dataset: str = "higgs",
+    worker_counts: tuple[int, int] = (10, 300),
+    channel: str = "memcached",
+    max_epochs: float | None = None,
+    ga_max_epochs: float | None = None,
+    seed: int = 20210620,
+) -> list[SweepPoint]:
+    """One (algorithm, workers) grid cell per point, for one workload."""
+    workload = get_workload(model, dataset)
+    points = []
+    for algorithm in _algorithms_for(model):
+        for workers in worker_counts:
+            epochs_cap = max_epochs or workload.max_epochs
+            if algorithm == "ga_sgd" and ga_max_epochs is not None:
+                # GA-SGD at large scale is dominated by per-batch
+                # communication; capping epochs keeps runs bounded
+                # without changing the (non-)convergence story.
+                epochs_cap = ga_max_epochs
+            points.append(
+                SweepPoint(
+                    "fig7",
+                    f"{model}/{dataset} {algorithm},W={workers}",
+                    config_kwargs=dict(
+                        model=model,
+                        dataset=dataset,
+                        algorithm=algorithm,
+                        system="lambdaml",
+                        workers=workers,
+                        channel=channel,
+                        # §4 protocol: Memcached is launched before the Lambdas.
+                        channel_prestarted=True,
+                        batch_size=workload.batch_size,
+                        batch_scope=workload.batch_scope,
+                        lr=workload.lr,
+                        k=workload.k,
+                        loss_threshold=workload.threshold,
+                        max_epochs=epochs_cap,
+                        partition_mode="label-skew"
+                        if model in ("mobilenet", "resnet50")
+                        else "iid",
+                        seed=seed,
+                    ),
+                    tags={"workload": f"{model}/{dataset}"},
+                )
+            )
+    return points
+
+
+def sweep_points(
+    max_epochs: float | None = None, seed: int = 20210620
+) -> list[SweepPoint]:
+    """The full Figure-7 grid (all three panels)."""
+    points = []
+    for model, dataset, counts in PANELS:
+        points += workload_points(
+            model, dataset, worker_counts=counts,
+            max_epochs=max_epochs,
+            ga_max_epochs=max_epochs or GA_SGD_STUDY_EPOCHS,
+            seed=seed,
+        )
+    return points
+
+
+def aggregate(artifacts: list[dict]) -> list[AlgorithmComparison]:
+    """Rebuild per-workload comparisons from sweep artifacts."""
+    comparisons: dict[str, AlgorithmComparison] = {}
+    for artifact in artifacts:
+        workload = artifact["tags"]["workload"]
+        comparison = comparisons.setdefault(
+            workload, AlgorithmComparison(workload=workload, results={})
+        )
+        config = artifact["config"]
+        key = (config["algorithm"], config["workers"])
+        comparison.results[key] = result_from_artifact(artifact)
+    return list(comparisons.values())
 
 
 def run(
@@ -54,37 +158,12 @@ def run(
     ga_max_epochs: float | None = None,
     seed: int = 20210620,
 ) -> AlgorithmComparison:
-    """Train one workload with every applicable algorithm."""
-    workload = get_workload(model, dataset)
-    results: dict[tuple[str, int], RunResult] = {}
-    for algorithm in _algorithms_for(model):
-        for workers in worker_counts:
-            epochs_cap = max_epochs or workload.max_epochs
-            if algorithm == "ga_sgd" and ga_max_epochs is not None:
-                # GA-SGD at large scale is dominated by per-batch
-                # communication; capping epochs keeps runs bounded
-                # without changing the (non-)convergence story.
-                epochs_cap = ga_max_epochs
-            config = TrainingConfig(
-                model=model,
-                dataset=dataset,
-                algorithm=algorithm,
-                system="lambdaml",
-                workers=workers,
-                channel=channel,
-                # §4 protocol: Memcached is launched before the Lambdas.
-                channel_prestarted=True,
-                batch_size=workload.batch_size,
-                batch_scope=workload.batch_scope,
-                lr=workload.lr,
-                k=workload.k,
-                loss_threshold=workload.threshold,
-                max_epochs=epochs_cap,
-                partition_mode="label-skew" if model in ("mobilenet", "resnet50") else "iid",
-                seed=seed,
-            )
-            results[(algorithm, workers)] = train(config)
-    return AlgorithmComparison(workload=workload.key, results=results)
+    """Train one workload with every applicable algorithm (legacy shim)."""
+    points = workload_points(
+        model, dataset, worker_counts=worker_counts, channel=channel,
+        max_epochs=max_epochs, ga_max_epochs=ga_max_epochs, seed=seed,
+    )
+    return aggregate(run_sweep(points).artifacts)[0]
 
 
 def format_report(comparison: AlgorithmComparison, worker_counts=(10, 300)) -> str:
@@ -121,3 +200,20 @@ def format_report(comparison: AlgorithmComparison, worker_counts=(10, 300)) -> s
         f"{a}@{w}": r.loss_curve() for (a, w), r in sorted(comparison.results.items())
     }
     return "\n\n".join([table, table2, format_series("Loss vs time", curves)])
+
+
+@study("fig7")
+class Fig7Study:
+    """algorithm comparison (GA-SGD / MA-SGD / ADMM) at small vs large worker counts"""
+
+    @staticmethod
+    def points(ctx):
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+    aggregate = staticmethod(aggregate)
+
+    @staticmethod
+    def format_report(comparisons: list[AlgorithmComparison]) -> str:
+        return "\n\n".join(
+            format_report(c, worker_counts=c.worker_counts()) for c in comparisons
+        )

@@ -24,6 +24,7 @@ from repro.experiments.workloads import get_workload
 from repro.sweep.artifacts import result_from_artifact
 from repro.sweep.grid import SweepPoint, expand_grid
 from repro.sweep.orchestrator import run_sweep
+from repro.sweep.study import study
 
 CASES = [
     # (model, dataset, workers)
@@ -135,3 +136,15 @@ def format_report(comparisons: list[SyncComparison]) -> str:
         rows,
     )
     return table + "\n\n" + format_series("Loss vs time", series)
+
+
+@study("fig8")
+class Fig8Study:
+    """BSP vs S-ASP on LR/Higgs, LR/RCV1, MobileNet/Cifar10"""
+
+    @staticmethod
+    def points(ctx):
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+    aggregate = staticmethod(aggregate)
+    format_report = staticmethod(format_report)

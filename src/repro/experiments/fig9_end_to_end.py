@@ -26,6 +26,7 @@ from repro.experiments.workloads import Workload, get_workload
 from repro.sweep.artifacts import result_from_artifact
 from repro.sweep.grid import SweepPoint
 from repro.sweep.orchestrator import run_sweep
+from repro.sweep.study import study
 
 
 @dataclass
@@ -183,3 +184,15 @@ def format_report(panels: list[EndToEndPanel]) -> str:
             )
         )
     return "\n\n".join(blocks)
+
+
+@study("fig9")
+class Fig9Study:
+    """end-to-end systems comparison on the Table-4 workloads"""
+
+    @staticmethod
+    def points(ctx):
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+    aggregate = staticmethod(aggregate)
+    format_report = staticmethod(format_report)

@@ -35,6 +35,7 @@ from repro.experiments.report import format_table
 from repro.experiments.workloads import get_workload
 from repro.sweep.grid import SweepPoint, expand_grid
 from repro.sweep.orchestrator import run_sweep
+from repro.sweep.study import study
 
 # Crashes per worker per simulated hour. An LR/Higgs job at W=10 runs
 # a few simulated minutes, so the top FaaS rates put several crashes
@@ -198,3 +199,15 @@ def format_report(curves: list[ReliabilityCurve]) -> str:
             )
         )
     return "\n\n".join(blocks)
+
+
+@study("figR")
+class FigRStudy:
+    """cost of reliability: runtime/cost overhead vs crash and storage-error rates, FaaS-with-checkpoints vs IaaS-restart"""
+
+    @staticmethod
+    def points(ctx):
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+    aggregate = staticmethod(aggregate)
+    format_report = staticmethod(format_report)

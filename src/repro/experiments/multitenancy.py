@@ -20,9 +20,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analytics.model import AnalyticalModel, WorkloadParams
+from repro.data.datasets import get_spec
+from repro.models.zoo import get_model_info
 from repro.pricing.catalog import DEFAULT_CATALOG
+from repro.sweep.study import study
 
 HORIZON_S = 24 * 3600.0
+
+
+def default_params() -> WorkloadParams:
+    """The registry study's workload: LR/Higgs ADMM, ~20 epochs/job."""
+    spec = get_spec("higgs")
+    info = get_model_info("lr", "higgs")
+    compute = spec.n_instances * info.compute.per_instance_s
+    return WorkloadParams(
+        dataset_bytes=spec.size_bytes,
+        model_bytes=info.param_bytes,
+        epochs_faas=20.0,
+        epochs_iaas=20.0,
+        compute_faas_s=compute,
+        compute_iaas_s=compute,
+        rounds_per_epoch=0.1,  # ADMM: one exchange per ten scans
+    )
 
 
 @dataclass(frozen=True)
@@ -101,3 +120,11 @@ def format_report(outcomes: list[TenancyOutcome]) -> str:
         ["platform", "mean latency (s)", "total cost ($)", "jobs"],
         [[o.platform, o.mean_latency_s, o.total_cost, o.jobs] for o in outcomes],
     )
+
+
+@study("multitenancy", kind="direct")
+class MultitenancyStudy:
+    """Q3 extension: peaky multi-tenant arrivals on FaaS vs reserved/on-demand IaaS"""
+
+    aggregate = staticmethod(lambda artifacts: run(default_params()))
+    format_report = staticmethod(format_report)

@@ -2,7 +2,7 @@
 
 For each workload we run the identical training job over each channel
 and report the *slowdown* and *relative cost* with respect to S3
-(values > 1 mean S3 is faster / cheaper). DynamoDB rows come out N/A
+(values > 1 mean S3 is faster / cheaper). DynamoDB cells come out N/A
 whenever the model exceeds its 400 KB item limit, reproducing the
 paper's "DynamoDB cannot handle a large model such as MobileNet".
 
@@ -10,18 +10,26 @@ The qualitative expectations: Memcached and the VM parameter server pay
 startup (minutes) that dominates short jobs, making S3 cheaper and
 faster end-to-end; on long jobs (MobileNet) Memcached's low latency
 wins; DynamoDB tracks S3 closely for tiny models.
+
+Each table row is a declarative grid (:func:`workload_points`, one
+point per feasible channel) run by the sweep orchestrator; infeasible
+DynamoDB cells are excluded at grid-declaration time (the same
+``stored_item_bytes`` arithmetic the simulated store enforces) and
+:func:`aggregate` renders them as N/A.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import TrainingConfig
-from repro.core.driver import train
-from repro.core.results import RunResult
-from repro.errors import ItemTooLargeError, StorageError
 from repro.experiments.report import format_table, ratio
 from repro.experiments.workloads import get_workload
+from repro.models.zoo import get_model_info
+from repro.storage.services import DYNAMODB_MAX_ITEM_BYTES, DynamoDBStore
+from repro.sweep.artifacts import result_from_artifact
+from repro.sweep.grid import SweepPoint
+from repro.sweep.orchestrator import run_sweep
+from repro.sweep.study import study
 
 CHANNELS = ("s3", "memcached", "dynamodb")
 
@@ -38,7 +46,19 @@ class ChannelRow:
     rel_cost: dict[str, float | None]
 
 
-def run_workload(
+def dynamodb_feasible(model: str, dataset: str, k: int = 10) -> bool:
+    """Can the model/gradient item fit DynamoDB's 400 KB limit?
+
+    Mirrors :meth:`DynamoDBStore.stored_item_bytes` exactly, so a grid
+    excludes precisely the points the simulated store would reject with
+    ``ItemTooLargeError`` mid-run.
+    """
+    info = get_model_info(model, dataset, k=k)
+    store = DynamoDBStore()
+    return store.stored_item_bytes(info.param_bytes) <= DYNAMODB_MAX_ITEM_BYTES
+
+
+def workload_points(
     model: str,
     dataset: str,
     workers: int,
@@ -46,12 +66,13 @@ def run_workload(
     max_epochs: float | None = None,
     include_hybrid: bool = True,
     seed: int = 20210620,
-) -> ChannelRow:
+) -> list[SweepPoint]:
+    """One point per feasible channel (plus VM-PS) for one table row."""
     workload = get_workload(model, dataset)
-    results: dict[str, RunResult | None] = {}
+    row = f"{model}/{dataset}" + (f",k={k}" if model == "kmeans" else "") + f",W={workers}"
 
-    def make_config(**overrides) -> TrainingConfig:
-        return TrainingConfig(
+    def make_point(channel_label: str, **overrides) -> SweepPoint:
+        kwargs = dict(
             model=model,
             dataset=dataset,
             algorithm=overrides.pop("algorithm", workload.algorithm),
@@ -66,51 +87,102 @@ def run_workload(
             seed=seed,
             **overrides,
         )
+        return SweepPoint(
+            "table1", f"{row} {channel_label}",
+            config_kwargs=kwargs,
+            tags={"row": row, "channel": channel_label, "workers": str(workers)},
+        )
 
+    points = []
     for channel in CHANNELS:
-        try:
-            results[channel] = train(make_config(channel=channel))
-        except (ItemTooLargeError, StorageError):
-            results[channel] = None  # N/A in the paper's table
+        if channel == "dynamodb" and not dynamodb_feasible(model, dataset, k=k):
+            continue  # N/A in the paper's table
+        points.append(make_point(channel, channel=channel))
     if include_hybrid and workload.algorithm != "em":
         # The VM-PS column trains with Cirrus-style GA-SGD pushes.
-        results["vm-ps"] = train(make_config(system="hybridps", algorithm="ga_sgd"))
-    else:
-        results["vm-ps"] = None
+        points.append(make_point("vm-ps", system="hybridps", algorithm="ga_sgd"))
+    return points
 
-    s3 = results["s3"]
-    slowdown = {}
-    rel_cost = {}
-    for name, result in results.items():
-        if name == "s3":
-            continue
-        slowdown[name] = ratio(result.duration_s if result else None, s3.duration_s)
-        rel_cost[name] = ratio(result.cost_total if result else None, s3.cost_total)
-    return ChannelRow(
-        workload=f"{model}/{dataset}" + (f",k={k}" if model == "kmeans" else ""),
-        workers=workers,
-        s3_time=s3.duration_s,
-        s3_cost=s3.cost_total,
-        slowdown=slowdown,
-        rel_cost=rel_cost,
+
+# The default rows (scaled: MobileNet capped at 6 epochs, no W=50 row).
+def sweep_points(
+    max_epochs: float | None = None, seed: int = 20210620, scaled: bool = True
+) -> list[SweepPoint]:
+    w_small, w_large = (10, 50)
+    points = []
+    points += workload_points("lr", "higgs", w_small, max_epochs=max_epochs, seed=seed)
+    points += workload_points("lr", "higgs", w_large, max_epochs=max_epochs, seed=seed)
+    points += workload_points(
+        "kmeans", "higgs", w_large, k=10, max_epochs=max_epochs, seed=seed
     )
+    points += workload_points(
+        "kmeans", "higgs", w_large, k=1000, max_epochs=max_epochs or 10, seed=seed
+    )
+    points += workload_points(
+        "mobilenet", "cifar10", 10,
+        max_epochs=max_epochs or (6 if scaled else None), seed=seed,
+    )
+    if not scaled:
+        points += workload_points(
+            "mobilenet", "cifar10", 50, max_epochs=max_epochs, seed=seed
+        )
+    return points
+
+
+def aggregate(artifacts: list[dict]) -> list[ChannelRow]:
+    """Rebuild the table rows from sweep artifacts (row order preserved)."""
+    grouped: dict[str, dict[str, dict]] = {}
+    for artifact in artifacts:
+        tags = artifact["tags"]
+        grouped.setdefault(tags["row"], {})[tags["channel"]] = artifact
+    rows = []
+    for row_label, by_channel in grouped.items():
+        if "s3" not in by_channel:
+            continue  # interrupted sweep: the baseline cell is missing
+        s3 = result_from_artifact(by_channel["s3"])
+        names = [c for c in CHANNELS if c != "s3"] + ["vm-ps"]
+        slowdown: dict[str, float | None] = {}
+        rel_cost: dict[str, float | None] = {}
+        for name in names:
+            artifact = by_channel.get(name)
+            result = result_from_artifact(artifact) if artifact else None
+            slowdown[name] = ratio(result.duration_s if result else None, s3.duration_s)
+            rel_cost[name] = ratio(result.cost_total if result else None, s3.cost_total)
+        workload_label, _, workers_label = row_label.rpartition(",W=")
+        rows.append(
+            ChannelRow(
+                workload=workload_label,
+                workers=int(workers_label),
+                s3_time=s3.duration_s,
+                s3_cost=s3.cost_total,
+                slowdown=slowdown,
+                rel_cost=rel_cost,
+            )
+        )
+    return rows
+
+
+def run_workload(
+    model: str,
+    dataset: str,
+    workers: int,
+    k: int = 10,
+    max_epochs: float | None = None,
+    include_hybrid: bool = True,
+    seed: int = 20210620,
+) -> ChannelRow:
+    """One table row (legacy shim over the orchestrator)."""
+    points = workload_points(
+        model, dataset, workers, k=k, max_epochs=max_epochs,
+        include_hybrid=include_hybrid, seed=seed,
+    )
+    return aggregate(run_sweep(points).artifacts)[0]
 
 
 def run(scaled: bool = True, seed: int = 20210620) -> list[ChannelRow]:
-    """All Table-1 rows (scaled=True shrinks worker counts for CI)."""
-    w_small, w_large = (10, 50)
-    rows = [
-        run_workload("lr", "higgs", w_small, seed=seed),
-        run_workload("lr", "higgs", w_large, seed=seed),
-        run_workload("kmeans", "higgs", w_large, k=10, seed=seed),
-        run_workload("kmeans", "higgs", w_large, k=1000, max_epochs=10, seed=seed),
-        run_workload(
-            "mobilenet", "cifar10", 10, max_epochs=6 if scaled else None, seed=seed
-        ),
-    ]
-    if not scaled:
-        rows.append(run_workload("mobilenet", "cifar10", 50, seed=seed))
-    return rows
+    """All Table-1 rows (scaled=True shrinks the MobileNet budget for CI)."""
+    points = sweep_points(seed=seed, scaled=scaled)
+    return aggregate(run_sweep(points).artifacts)
 
 
 def format_report(rows: list[ChannelRow]) -> str:
@@ -142,3 +214,15 @@ def format_report(rows: list[ChannelRow]) -> str:
         ],
         table_rows,
     )
+
+
+@study("table1")
+class Table1Study:
+    """channel comparison (S3 / Memcached / DynamoDB / VM-PS) slowdown + relative cost"""
+
+    @staticmethod
+    def points(ctx):
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+    aggregate = staticmethod(aggregate)
+    format_report = staticmethod(format_report)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.experiments.report import format_table
 from repro.iaas.ps import PSTimingModel
 from repro.iaas.vm import get_instance
+from repro.sweep.study import study
 
 MB = 1024 * 1024
 PAYLOAD_BYTES = 75 * MB
@@ -88,3 +89,11 @@ def format_report(rows: list[RPCRow]) -> str:
             for r in rows
         ],
     )
+
+
+@study("table2", kind="direct")
+class Table2Study:
+    """Lambda<->VM parameter-server RPC micro-benchmark (gRPC vs Thrift, 75 MB)"""
+
+    aggregate = staticmethod(lambda artifacts: run())
+    format_report = staticmethod(format_report)

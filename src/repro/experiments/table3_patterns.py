@@ -20,6 +20,7 @@ from repro.comm.patterns import allreduce, scatter_reduce
 from repro.models.zoo import get_model_info
 from repro.simulation.engine import Engine
 from repro.storage.services import make_channel
+from repro.sweep.study import study
 
 CASES = [
     # (label, model, dataset, workers)
@@ -85,3 +86,11 @@ def format_report(rows: list[PatternRow]) -> str:
         ["workload", "model size (B)", "AllReduce (s)", "ScatterReduce (s)"],
         [[r.label, r.model_bytes, r.allreduce_s, r.scatter_reduce_s] for r in rows],
     )
+
+
+@study("table3", kind="direct")
+class Table3Study:
+    """AllReduce vs ScatterReduce single-exchange timing over S3 (engine micro-probe)"""
+
+    aggregate = staticmethod(lambda artifacts: run())
+    format_report = staticmethod(format_report)

@@ -9,21 +9,32 @@ once but holding the VMs for the whole sweep).
 
 Expected shape (paper's Table 5): FaaS is faster but costlier for
 LR/Higgs; IaaS is both faster and much cheaper for MobileNet.
+
+The per-candidate training jobs are a declarative grid
+(:func:`sweep_points`: workload x platform x learning rate) run by the
+sweep orchestrator; :func:`aggregate` replays the pipeline arithmetic
+(pre-processing pass, cluster start-up amortisation, billing) over the
+artifacts in grid order, so the sums are bit-identical to the old
+sequential loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import TrainingConfig
-from repro.core.driver import train
+from repro.data.datasets import get_spec
 from repro.experiments.report import format_table
 from repro.experiments.workloads import get_workload
 from repro.iaas.cluster import iaas_startup_seconds
 from repro.pricing.catalog import DEFAULT_CATALOG
+from repro.sweep.artifacts import result_from_artifact
+from repro.sweep.grid import SweepPoint
+from repro.sweep.orchestrator import run_sweep
+from repro.sweep.study import study
 
 WORKERS = 10
 GRID = [round(0.01 * i, 2) for i in range(1, 11)]
+CASES = (("lr", "higgs"), ("mobilenet", "cifar10"))
 
 
 @dataclass
@@ -42,40 +53,81 @@ def _preprocess_seconds(dataset_bytes: float, workers: int) -> float:
     return 2 * per_worker / bandwidth  # read + write
 
 
-def run_case(
+def case_points(
     model: str,
     dataset: str,
     epochs_per_job: float = 10.0,
     grid=GRID,
     seed: int = 20210620,
-) -> list[PipelineRow]:
+) -> list[SweepPoint]:
+    """The grid-search jobs of one pipeline case (both platforms)."""
     workload = get_workload(model, dataset)
     deep = model in ("mobilenet", "resnet50")
     algorithm = "ga_sgd" if deep else workload.algorithm
+    instance = "g3s.xlarge" if deep else "t2.medium"
+    points = []
+    for platform in ("faas", "iaas"):
+        for lr in grid:
+            extra = (
+                dict(system="lambdaml")
+                if platform == "faas"
+                else dict(system="pytorch", instance=instance)
+            )
+            points.append(
+                SweepPoint(
+                    "table5",
+                    f"{model}/{dataset} {platform},lr={lr:g}",
+                    config_kwargs=dict(
+                        model=model, dataset=dataset, algorithm=algorithm,
+                        workers=WORKERS, channel="s3",
+                        batch_size=workload.batch_size,
+                        batch_scope=workload.batch_scope, lr=lr,
+                        loss_threshold=None, max_epochs=epochs_per_job,
+                        seed=seed, **extra,
+                    ),
+                    tags={"case": f"{model}/{dataset}", "platform": platform},
+                )
+            )
+    return points
 
-    def config(system: str, lr: float, **kw) -> TrainingConfig:
-        return TrainingConfig(
-            model=model, dataset=dataset, algorithm=algorithm, system=system,
-            workers=WORKERS, channel="s3", batch_size=workload.batch_size,
-            batch_scope=workload.batch_scope, lr=lr, loss_threshold=None,
-            max_epochs=epochs_per_job, seed=seed, **kw,
+
+def sweep_points(
+    max_epochs: float | None = None, seed: int = 20210620
+) -> list[SweepPoint]:
+    """Both pipeline cases; ``max_epochs`` overrides epochs-per-job."""
+    points = []
+    for model, dataset in CASES:
+        points += case_points(
+            model, dataset, epochs_per_job=max_epochs or 10.0, seed=seed
         )
+    return points
+
+
+def aggregate(artifacts: list[dict]) -> list[PipelineRow]:
+    """Replay the pipeline arithmetic over the per-job artifacts.
+
+    Jobs are consumed in artifact (grid) order per (case, platform), so
+    the float accumulations match the old sequential loop exactly.
+    """
+    grouped: dict[tuple[str, str], list[dict]] = {}
+    for artifact in artifacts:
+        key = (artifact["tags"]["case"], artifact["tags"]["platform"])
+        grouped.setdefault(key, []).append(artifact)
 
     rows = []
-    from repro.data.datasets import get_spec
-
-    spec = get_spec(dataset)
-    prep = _preprocess_seconds(spec.size_bytes, WORKERS)
-
-    for platform in ("faas", "iaas"):
+    for (case, platform), jobs in grouped.items():
+        model, dataset = case.split("/")
+        deep = model in ("mobilenet", "resnet50")
+        spec = get_spec(dataset)
+        prep = _preprocess_seconds(spec.size_bytes, WORKERS)
         total_cost = 0.0
         accuracies = []
         if platform == "faas":
             # Jobs run as parallel serverless sweeps; wall time is the
             # slowest job, cost is the sum.
             durations = []
-            for lr in grid:
-                result = train(config("lambdaml", lr))
+            for artifact in jobs:
+                result = result_from_artifact(artifact)
                 durations.append(result.duration_s)
                 total_cost += result.cost_total
                 accuracies.append(result.final_accuracy)
@@ -86,8 +138,8 @@ def run_case(
             startup = iaas_startup_seconds(WORKERS)
             instance = "g3s.xlarge" if deep else "t2.medium"
             job_seconds = 0.0
-            for lr in grid:
-                result = train(config("pytorch", lr, instance=instance))
+            for artifact in jobs:
+                result = result_from_artifact(artifact)
                 job_seconds += result.duration_s - result.startup_s
                 accuracies.append(result.final_accuracy)
             runtime = prep + startup + job_seconds
@@ -97,7 +149,7 @@ def run_case(
         best = max((a for a in accuracies if a is not None), default=None)
         rows.append(
             PipelineRow(
-                workload=f"{model}/{dataset}",
+                workload=case,
                 platform=platform,
                 runtime_s=runtime,
                 accuracy=best,
@@ -107,12 +159,26 @@ def run_case(
     return rows
 
 
+def run_case(
+    model: str,
+    dataset: str,
+    epochs_per_job: float = 10.0,
+    grid=GRID,
+    seed: int = 20210620,
+) -> list[PipelineRow]:
+    """One pipeline case, both platforms (legacy shim)."""
+    points = case_points(
+        model, dataset, epochs_per_job=epochs_per_job, grid=grid, seed=seed
+    )
+    return aggregate(run_sweep(points).artifacts)
+
+
 def run(epochs_per_job: float = 10.0, grid=GRID, seed: int = 20210620):
     rows = []
-    rows += run_case("lr", "higgs", epochs_per_job=epochs_per_job, grid=grid, seed=seed)
-    rows += run_case(
-        "mobilenet", "cifar10", epochs_per_job=epochs_per_job, grid=grid, seed=seed
-    )
+    for model, dataset in CASES:
+        rows += run_case(
+            model, dataset, epochs_per_job=epochs_per_job, grid=grid, seed=seed
+        )
     return rows
 
 
@@ -122,3 +188,15 @@ def format_report(rows: list[PipelineRow]) -> str:
         ["workload", "platform", "runtime(s)", "best val acc", "cost($)"],
         [[r.workload, r.platform, r.runtime_s, r.accuracy, r.cost] for r in rows],
     )
+
+
+@study("table5")
+class Table5Study:
+    """end-to-end ML pipelines (normalise + lr grid search) on FaaS vs a reserved cluster"""
+
+    @staticmethod
+    def points(ctx):
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+    aggregate = staticmethod(aggregate)
+    format_report = staticmethod(format_report)

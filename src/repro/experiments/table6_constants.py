@@ -23,6 +23,7 @@ from repro.simulation.commands import Get, Put
 from repro.simulation.engine import Engine
 from repro.storage.base import ObjectStore
 from repro.storage.services import MemcachedStore, S3Store, VMDiskStore
+from repro.sweep.study import study
 from repro.utils.serialization import SizedPayload
 
 MB = 1024 * 1024
@@ -110,3 +111,11 @@ def format_report(rows: list[ConstantRow]) -> str:
         [[r.symbol, r.configuration, r.paper_value, r.measured_value, r.unit] for r in rows],
         floatfmt="{:.4g}",
     )
+
+
+@study("table6", kind="direct")
+class Table6Study:
+    """self-consistency check: analytical constants re-measured from the substrate"""
+
+    aggregate = staticmethod(lambda artifacts: run())
+    format_report = staticmethod(format_report)

@@ -16,8 +16,12 @@ Layout:
   including the two-phase record/replay sweep (``substrate="auto"``):
   one exact training per unique statistical fingerprint, replays for
   the rest (see :mod:`repro.substrate`).
-* :mod:`repro.sweep.registry` — named sweep experiments the CLI runs
-  (fig8 / fig9 / fig11 / fig12 grids plus a seconds-scale ``smoke``).
+* :mod:`repro.sweep.study` — the Study protocol (``points(ctx)`` /
+  ``aggregate`` / ``format_report``), the ``@study`` registration
+  decorator and auto-discovery over :mod:`repro.experiments`; every
+  figure/table/extension is a registered study the CLI and
+  :mod:`repro.api` run by name (:mod:`repro.sweep.registry` is the
+  back-compat view).
 """
 
 from repro.sweep.artifacts import (
@@ -37,14 +41,29 @@ from repro.sweep.orchestrator import (
     run_point,
     run_sweep,
 )
+# NOTE: the ``@study`` decorator itself is deliberately NOT re-exported
+# here — ``repro.sweep.study`` must keep naming the submodule. Import
+# the decorator from ``repro.api`` or ``repro.sweep.study``.
+from repro.sweep.study import (
+    Study,
+    StudyContext,
+    all_studies,
+    get_study,
+    study_names,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactError",
     "SWEEP_SUBSTRATES",
+    "Study",
+    "StudyContext",
     "SweepPoint",
     "SweepRun",
+    "all_studies",
+    "get_study",
     "plan_sweep",
+    "study_names",
     "artifact_from_result",
     "config_fingerprint",
     "config_hash",

@@ -1,165 +1,46 @@
-"""Named sweep experiments the CLI can run.
+"""Back-compat view of the study registry (see :mod:`repro.sweep.study`).
 
-Each entry binds a grid declaration (``points``), an artifact
-aggregator (``aggregate``) and a report renderer (``format_report``)
-from one experiment module. ``repro.cli sweep --experiment NAME`` is
-then: expand the grid, fan it over the pool, persist one JSON artifact
-per point, aggregate the artifacts, render the report.
+PR 2..4 kept a hand-maintained 6-entry ``EXPERIMENTS`` dict here; the
+Study redesign replaced it with ``@study`` declarations inside each
+experiment module plus auto-discovery. This module keeps the old
+import surface working:
 
-``smoke`` is a seconds-scale grid (tiny data_scale, 2-epoch caps) used
-by the test suite and as a cheap end-to-end probe of the orchestrator
-in CI-like settings.
+* ``get_experiment(name)`` — now returns the registered
+  :class:`~repro.sweep.study.Study` (same ``name`` / ``description`` /
+  ``points`` / ``aggregate`` / ``format_report`` attributes the old
+  ``SweepExperiment`` dataclass exposed).
+* ``EXPERIMENTS`` — a lazy read-only mapping over the registry, so
+  ``sorted(EXPERIMENTS)`` and membership checks behave as before
+  without importing every experiment module at module-import time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Mapping
 
-from repro.errors import ConfigurationError
-from repro.experiments import (
-    fig8_synchronization,
-    fig9_end_to_end,
-    fig11_scaling,
-    fig12_configurations,
-    figR_reliability,
-)
-from repro.experiments.report import format_table
-from repro.sweep.grid import SweepPoint, expand_grid
+from repro.sweep.study import Study, all_studies, get_study
+
+__all__ = ["EXPERIMENTS", "SweepExperiment", "get_experiment"]
+
+# The registered Study class *is* the old experiment record.
+SweepExperiment = Study
 
 
-@dataclass(frozen=True)
-class SweepExperiment:
-    name: str
-    description: str
-    points: Callable[..., list[SweepPoint]]  # (max_epochs=None, seed=...) -> grid
-    aggregate: Callable[[list[dict]], object]
-    format_report: Callable[[object], str]
+def get_experiment(name: str) -> Study:
+    return get_study(name)
 
 
-def _smoke_points(
-    max_epochs: float | None = None, seed: int = 20210620
-) -> list[SweepPoint]:
-    """A 6-point grid that completes in seconds (heavily down-scaled).
+class _RegistryView(Mapping):
+    """Dict-like, discovery-on-first-touch view of the study registry."""
 
-    Four fault-free systems points plus two fault-plane points (one
-    crash-injected, one with transient storage errors). All six share
-    one statistical fingerprint, so a ``--substrate auto`` run records
-    exactly one trace — the cheapest end-to-end probe of both the
-    two-phase orchestrator and the fault plane's determinism contract.
-    """
-    base = dict(
-        model="lr", dataset="higgs", algorithm="admm", system="lambdaml",
-        data_scale=5000, loss_threshold=0.66,
-        max_epochs=max_epochs or 2.0, seed=seed,
-    )
-    points = [
-        SweepPoint(
-            "smoke",
-            f"{kw['channel']},{kw['pattern']},W={kw['workers']}",
-            config_kwargs=kw,
-            tags={"series": "lr/higgs@1/5000", "system": "faas"},
-        )
-        for kw in expand_grid(
-            base,
-            {
-                "channel": ("s3", "memcached"),
-                "pattern": ("allreduce", "scatterreduce"),
-                "workers": (4,),
-            },
-        )
-    ]
-    points.append(
-        SweepPoint(
-            "smoke", "s3,allreduce,W=4,mttf=120s",
-            config_kwargs=dict(base, channel="s3", workers=4, mttf_s=120.0),
-            tags={"series": "lr/higgs@1/5000", "system": "faas",
-                  "faults": "crash"},
-        )
-    )
-    points.append(
-        SweepPoint(
-            "smoke", "s3,allreduce,W=4,storage_err=2%",
-            config_kwargs=dict(
-                base, channel="s3", workers=4, storage_error_rate=0.02
-            ),
-            tags={"series": "lr/higgs@1/5000", "system": "faas",
-                  "faults": "storage"},
-        )
-    )
-    return points
+    def __getitem__(self, name: str) -> Study:
+        return get_study(name)
+
+    def __iter__(self):
+        return iter(all_studies())
+
+    def __len__(self) -> int:
+        return len(all_studies())
 
 
-def _smoke_format_report(artifacts: list[dict]) -> str:
-    rows = [
-        [
-            a["label"],
-            a["result"]["duration_s"],
-            a["result"]["cost_total"],
-            a["result"]["final_loss"],
-            a["result"]["converged"],
-        ]
-        for a in artifacts
-    ]
-    return format_table(
-        "Smoke sweep — LR/Higgs at 1/5000 scale",
-        ["point", "runtime(s)", "cost($)", "loss", "converged"],
-        rows,
-    )
-
-
-EXPERIMENTS: dict[str, SweepExperiment] = {
-    "fig8": SweepExperiment(
-        "fig8",
-        "BSP vs S-ASP on LR/Higgs, LR/RCV1, MobileNet/Cifar10",
-        fig8_synchronization.sweep_points,
-        fig8_synchronization.aggregate,
-        fig8_synchronization.format_report,
-    ),
-    "fig9": SweepExperiment(
-        "fig9",
-        "end-to-end systems comparison on the Table-4 workloads",
-        fig9_end_to_end.sweep_points,
-        fig9_end_to_end.aggregate,
-        fig9_end_to_end.format_report,
-    ),
-    "fig11": SweepExperiment(
-        "fig11",
-        "runtime/cost vs worker count; FaaS grid crosses the paper's "
-        "~300-worker ceiling up to 512",
-        fig11_scaling.sweep_points,
-        fig11_scaling.aggregate,
-        fig11_scaling.format_report,
-    ),
-    "fig12": SweepExperiment(
-        "fig12",
-        "runtime/cost scatter across instances and learning rates",
-        fig12_configurations.sweep_points,
-        fig12_configurations.aggregate,
-        fig12_configurations.format_report,
-    ),
-    "figR": SweepExperiment(
-        "figR",
-        "cost of reliability: runtime/cost overhead vs crash and "
-        "storage-error rates, FaaS-with-checkpoints vs IaaS-restart",
-        figR_reliability.sweep_points,
-        figR_reliability.aggregate,
-        figR_reliability.format_report,
-    ),
-    "smoke": SweepExperiment(
-        "smoke",
-        "seconds-scale orchestrator + fault-plane probe (down-scaled LR/Higgs)",
-        _smoke_points,
-        lambda artifacts: artifacts,
-        _smoke_format_report,
-    ),
-}
-
-
-def get_experiment(name: str) -> SweepExperiment:
-    try:
-        return EXPERIMENTS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown sweep experiment {name!r}; known: {sorted(EXPERIMENTS)}"
-        ) from None
+EXPERIMENTS: Mapping[str, Study] = _RegistryView()

@@ -1,0 +1,235 @@
+"""The Study protocol: every experiment behind one declarative seam.
+
+A *study* is the unit the CLI, the ``repro.api`` facade and the
+benchmark harness all speak: a named experiment that can
+
+* declare its grid — ``points(ctx) -> list[SweepPoint]`` (possibly
+  empty, for analytical/micro-probe studies whose result is computed
+  rather than trained);
+* reduce per-point sweep artifacts back into the experiment's result
+  object — ``aggregate(artifacts)``;
+* render that result the way the paper reports it —
+  ``format_report(result)``.
+
+Experiment modules register by decorating a small declaration class::
+
+    from repro.sweep.study import study
+
+    @study("fig7")
+    class Fig7Study:
+        \"\"\"Algorithms on LR/SVM/MobileNet (GA-SGD / MA-SGD / ADMM).\"\"\"
+
+        @staticmethod
+        def points(ctx):
+            return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+
+        aggregate = staticmethod(aggregate)
+        format_report = staticmethod(format_report)
+
+and the registry auto-discovers them by importing every module under
+:mod:`repro.experiments` on first lookup — adding a study never touches
+the registry again, and ``repro.cli sweep --experiment <name>`` gains
+``--jobs/--resume/--substrate auto`` for free.
+
+Grid expansion is memoized per :class:`StudyContext`: a ``--dry-run``
+plan followed by the real run (or ``run_panel()``-style helpers called
+in a loop) expands each grid exactly once per process.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_SEED
+from repro.errors import ConfigurationError
+from repro.sweep.grid import SweepPoint
+
+__all__ = [
+    "Study",
+    "StudyContext",
+    "all_studies",
+    "discover",
+    "get_study",
+    "register",
+    "study",
+    "study_names",
+]
+
+
+@dataclass(frozen=True)
+class StudyContext:
+    """What a grid declaration may depend on.
+
+    ``max_epochs`` overrides every point's epoch cap (scaled-down
+    sweeps); ``seed`` feeds every RNG draw. Frozen and hashable so it
+    doubles as the memoization key for grid expansion.
+    """
+
+    max_epochs: float | None = None
+    seed: int = DEFAULT_SEED
+
+
+class Study:
+    """One registered experiment: grid + aggregator + report renderer.
+
+    ``kind`` distinguishes how the result is produced:
+
+    * ``"grid"`` — the study's substance is a grid of
+      :class:`~repro.core.config.TrainingConfig` points run by the
+      sweep orchestrator; ``aggregate`` is a cheap pure reduction of
+      the persisted artifacts.
+    * ``"direct"`` — the grid is empty and ``aggregate`` computes the
+      result itself (analytical models, engine micro-probes). The
+      orchestrator flags still work — there is just nothing to fan out.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        points,
+        aggregate,
+        format_report,
+        kind: str = "grid",
+    ) -> None:
+        if kind not in ("grid", "direct"):
+            raise ConfigurationError(f"unknown study kind {kind!r}")
+        self.name = name
+        self.description = description
+        self.kind = kind
+        self._points = points
+        self._aggregate = aggregate
+        self._format_report = format_report
+        self._expansions: dict[StudyContext, list[SweepPoint]] = {}
+
+    # -- protocol ---------------------------------------------------------
+    def points(
+        self,
+        max_epochs: float | None = None,
+        seed: int = DEFAULT_SEED,
+        ctx: StudyContext | None = None,
+    ) -> list[SweepPoint]:
+        """The study's grid, memoized per context.
+
+        Returns a fresh list each call (callers may filter/extend it)
+        over shared, frozen :class:`SweepPoint` instances — expansion
+        itself runs once per :class:`StudyContext` per process, so a
+        ``--dry-run`` plan plus the real run never double-expands a
+        large grid.
+        """
+        if ctx is None:
+            ctx = StudyContext(max_epochs=max_epochs, seed=seed)
+        if ctx not in self._expansions:
+            self._expansions[ctx] = list(self._points(ctx))
+        return list(self._expansions[ctx])
+
+    def aggregate(self, artifacts: list[dict]):
+        """Reduce per-point artifacts to the experiment's result object."""
+        return self._aggregate(artifacts)
+
+    def format_report(self, result) -> str:
+        """Render an aggregated result the way the paper reports it."""
+        return self._format_report(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Study({self.name!r}, kind={self.kind!r})"
+
+
+_REGISTRY: dict[str, Study] = {}
+_DISCOVERED = False
+
+
+def _no_points(_ctx: StudyContext) -> list[SweepPoint]:
+    return []
+
+
+def register(entry: Study) -> Study:
+    """Add one study to the registry (duplicate names are an error)."""
+    if entry.name in _REGISTRY:
+        raise ConfigurationError(
+            f"study {entry.name!r} is already registered "
+            f"(by {_REGISTRY[entry.name]!r})"
+        )
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def study(name: str, *, kind: str = "grid", description: str | None = None):
+    """Class decorator registering a study declaration.
+
+    The class provides ``points(ctx)`` (optional for ``kind="direct"``
+    studies — defaults to an empty grid), ``aggregate(artifacts)`` and
+    ``format_report(result)`` as static/plain callables; the
+    description defaults to the first line of the class docstring.
+    """
+
+    def decorate(cls):
+        doc = description or (inspect.getdoc(cls) or "").strip()
+        if not doc:
+            raise ConfigurationError(
+                f"study {name!r} needs a description (docstring or keyword)"
+            )
+        points = getattr(cls, "points", None)
+        if points is None:
+            if kind != "direct":
+                raise ConfigurationError(
+                    f"grid study {name!r} must declare points(ctx)"
+                )
+            points = _no_points
+        register(
+            Study(
+                name,
+                doc.splitlines()[0],
+                points=points,
+                aggregate=cls.aggregate,
+                format_report=cls.format_report,
+                kind=kind,
+            )
+        )
+        return cls
+
+    return decorate
+
+
+def discover() -> None:
+    """Import every :mod:`repro.experiments` module once.
+
+    The ``@study`` decorators run at import time, so after this every
+    experiment the package ships is registered. Idempotent and cheap on
+    repeat calls.
+    """
+    global _DISCOVERED
+    if _DISCOVERED:
+        return
+    package = importlib.import_module("repro.experiments")
+    for info in pkgutil.iter_modules(package.__path__):
+        importlib.import_module(f"repro.experiments.{info.name}")
+    # Only flag success once every module imported: if one raised, the
+    # next call retries (and re-raises the real error) instead of
+    # serving a silently partial registry. Modules that did import are
+    # cached by sys.modules, so their @study registrations don't rerun.
+    _DISCOVERED = True
+
+
+def get_study(name: str) -> Study:
+    discover()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown study {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_studies() -> dict[str, Study]:
+    """Name -> study, sorted by name (a copy; the registry is private)."""
+    discover()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def study_names() -> list[str]:
+    discover()
+    return sorted(_REGISTRY)

@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import add_config_flags, build_parser, config_from_args, main
+from repro.core.config import TrainingConfig
+
+
+def train_subparser() -> argparse.ArgumentParser:
+    parser = build_parser()
+    subparsers = parser._subparsers._group_actions[0]
+    return subparsers.choices["train"]
 
 
 class TestParser:
@@ -15,6 +25,10 @@ class TestParser:
         assert args.command == "train"
         assert args.algorithm == "ma_sgd"
         assert args.workers == 10
+        # Derived flags inherit the *config* defaults — the old
+        # hand-written parser had drifted (lr 0.05, max_epochs 40).
+        assert args.lr == TrainingConfig.__dataclass_fields__["lr"].default
+        assert args.max_epochs == 60.0
 
     def test_train_rejects_unknown_model(self):
         with pytest.raises(SystemExit):
@@ -23,6 +37,72 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestTrainFlagParity:
+    """`train` flags are generated from TrainingConfig — pin the bijection."""
+
+    def config_fields(self) -> dict[str, dataclasses.Field]:
+        return {
+            f.name: f for f in dataclasses.fields(TrainingConfig) if f.init
+        }
+
+    def flag_actions(self) -> dict[str, argparse.Action]:
+        return {
+            action.dest: action
+            for action in train_subparser()._actions
+            if action.dest != "help"
+        }
+
+    def test_field_flag_bijection(self):
+        # Every init field has exactly one flag, and no flag exists
+        # without a field — a new config field cannot silently miss the
+        # CLI, and a CLI-only knob cannot silently miss the config.
+        assert self.flag_actions().keys() == self.config_fields().keys()
+
+    def test_flag_names_types_defaults_match_fields(self):
+        actions = self.flag_actions()
+        for name, field in self.config_fields().items():
+            action = actions[name]
+            flag = "--" + name.replace("_", "-")
+            assert flag in action.option_strings, name
+            kind = str(field.type).split("|")[0].strip()
+            if kind == "bool":
+                assert isinstance(action, argparse.BooleanOptionalAction), name
+                assert action.default == field.default
+            elif field.default is dataclasses.MISSING:
+                assert action.required, name
+            else:
+                assert action.default == field.default, name
+                assert action.type is {"int": int, "float": float, "str": str}[kind]
+
+    def test_metadata_choices_reach_argparse(self):
+        actions = self.flag_actions()
+        for name, field in self.config_fields().items():
+            choices = field.metadata.get("choices")
+            if choices is not None:
+                assert actions[name].choices == list(choices), name
+
+    def test_config_from_args_round_trips_every_field(self):
+        parser = argparse.ArgumentParser()
+        add_config_flags(parser)
+        args = parser.parse_args(
+            ["--model", "lr", "--dataset", "higgs", "--algorithm", "admm",
+             "--mttf-s", "120", "--channel-prestarted", "--data-scale", "5000"]
+        )
+        config = config_from_args(args)
+        assert config == TrainingConfig(
+            model="lr", dataset="higgs", algorithm="admm",
+            mttf_s=120.0, channel_prestarted=True, data_scale=5000,
+        )
+
+    def test_optional_fields_keep_none_defaults(self):
+        parser = argparse.ArgumentParser()
+        add_config_flags(parser)
+        args = parser.parse_args(["--model", "lr", "--dataset", "higgs"])
+        assert args.loss_threshold is None
+        assert args.mttf_s is None
+        assert args.data_scale is None
 
 
 class TestCommands:

@@ -1,0 +1,218 @@
+"""The Study registry: discovery, memoized grids, the CLI catalog.
+
+ISSUE 5 acceptance: every experiment module is a registered study
+(>= 14 names beyond smoke), each grid study's points build valid,
+hash-unique configs, grid expansion is memoized per context, and
+``repro.cli sweep --list`` prints the whole catalog with grid/
+fingerprint accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import TrainingConfig
+from repro.errors import ConfigurationError
+from repro.sweep.grid import SweepPoint
+from repro.sweep.study import (
+    Study,
+    StudyContext,
+    all_studies,
+    get_study,
+    register,
+    study,
+)
+
+# The full catalog an ISSUE-5 registry must expose.
+EXPECTED_STUDIES = {
+    "cost_sanity", "datasets", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "figR", "multitenancy", "smoke",
+    "table1", "table2", "table3", "table5", "table6",
+}
+
+
+class TestRegistry:
+    def test_every_experiment_module_is_registered(self):
+        names = set(all_studies())
+        assert EXPECTED_STUDIES <= names
+        assert len(names - {"smoke"}) >= 14
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown study"):
+            get_study("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        get_study("smoke")  # force discovery first
+        with pytest.raises(ConfigurationError, match="already registered"):
+
+            @study("smoke")
+            class Duplicate:
+                """duplicate"""
+
+                points = staticmethod(lambda ctx: [])
+                aggregate = staticmethod(lambda a: a)
+                format_report = staticmethod(str)
+
+    def test_grid_studies_build_valid_unique_configs(self):
+        for name, entry in all_studies().items():
+            points = entry.points(max_epochs=1.0)
+            if entry.kind == "direct":
+                assert points == []
+                continue
+            assert points, name
+            hashes = set()
+            for point in points:
+                assert point.experiment == name
+                assert isinstance(point.config(), TrainingConfig)
+                hashes.add(point.hash())
+            assert len(hashes) == len(points), f"{name}: colliding configs"
+
+    def test_direct_studies_aggregate_without_artifacts(self):
+        # The cheap analytical ones; table3/table6/datasets run real
+        # engine probes and are covered by test_experiments.py.
+        for name in ("fig14", "fig15", "table2", "multitenancy"):
+            entry = get_study(name)
+            result = entry.aggregate([])
+            assert result, name
+            assert entry.format_report(result), name
+
+
+class TestMemoizedExpansion:
+    def make_study(self, calls):
+        def points(ctx):
+            calls.append(ctx)
+            return [
+                SweepPoint(
+                    "memo", "p",
+                    config_kwargs=dict(
+                        model="lr", dataset="higgs", algorithm="admm",
+                        max_epochs=ctx.max_epochs or 1.0,
+                    ),
+                )
+            ]
+
+        return Study("memo", "memoization probe", points,
+                     aggregate=lambda a: a, format_report=str)
+
+    def test_same_context_expands_once(self):
+        calls = []
+        entry = self.make_study(calls)
+        first = entry.points(max_epochs=1.0)
+        second = entry.points(max_epochs=1.0)
+        assert len(calls) == 1  # --dry-run + run: one expansion
+        assert first == second
+        assert first is not second  # callers get their own list
+        assert first[0] is second[0]  # over shared frozen points
+
+    def test_context_changes_invalidate(self):
+        calls = []
+        entry = self.make_study(calls)
+        entry.points(max_epochs=1.0)
+        entry.points(max_epochs=2.0)
+        entry.points(seed=7)
+        assert len(calls) == 3
+
+    def test_ctx_object_and_kwargs_share_the_cache(self):
+        calls = []
+        entry = self.make_study(calls)
+        entry.points(max_epochs=1.0, seed=3)
+        entry.points(ctx=StudyContext(max_epochs=1.0, seed=3))
+        assert len(calls) == 1
+
+
+class TestStudyDecorator:
+    def test_description_defaults_to_docstring(self):
+        probe = []
+
+        def catcher(entry):
+            probe.append(entry)
+            return entry
+
+        import repro.sweep.study as study_module
+
+        original = study_module.register
+        study_module.register = catcher
+        try:
+
+            @study("docstring-probe")
+            class Probe:
+                """first line wins
+
+                not this one.
+                """
+
+                points = staticmethod(lambda ctx: [])
+                aggregate = staticmethod(lambda a: a)
+                format_report = staticmethod(str)
+
+        finally:
+            study_module.register = original
+        assert probe[0].description == "first line wins"
+
+    def test_grid_study_requires_points(self):
+        with pytest.raises(ConfigurationError, match="must declare points"):
+
+            @study("pointless", description="no grid")
+            class Pointless:
+                aggregate = staticmethod(lambda a: a)
+                format_report = staticmethod(str)
+
+    def test_direct_study_defaults_to_empty_grid(self):
+        probe = []
+        import repro.sweep.study as study_module
+
+        def catcher(entry):
+            probe.append(entry)
+            return entry
+
+        original = study_module.register
+        study_module.register = catcher
+        try:
+
+            @study("directless", kind="direct", description="computed")
+            class Directless:
+                aggregate = staticmethod(lambda a: "result")
+                format_report = staticmethod(str)
+
+        finally:
+            study_module.register = original
+        assert probe[0].points(max_epochs=1.0) == []
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown study kind"):
+            Study("x", "d", lambda ctx: [], lambda a: a, str, kind="quantum")
+
+    def test_register_is_importable_and_guarded(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register(get_study("smoke"))
+
+
+class TestCliCatalog:
+    def test_sweep_list_prints_every_study(self, capsys):
+        assert main(["sweep", "--list", "--max-epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPECTED_STUDIES:
+            assert name in out, name
+        # the --dry-run accounting: grid sizes + unique fingerprints
+        header = out.splitlines()[0]
+        assert "points" in header and "stat-fp" in header
+        smoke_line = next(line for line in out.splitlines() if line.startswith("smoke"))
+        assert " 6 " in smoke_line and " 1 " in smoke_line
+
+    def test_sweep_without_experiment_or_list_errors(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "--list" in capsys.readouterr().err
+
+    def test_direct_study_through_the_sweep_cli(self, tmp_path, capsys):
+        # A "direct" study rides the same CLI: zero points, full report.
+        out = tmp_path / "artifacts"
+        assert main(["sweep", "--experiment", "table2", "--out", str(out),
+                     "--resume", "--substrate", "auto", "--jobs", "2"]) == 0
+        stdout = capsys.readouterr().out
+        assert "Table 2" in stdout
+        assert "0 point(s) run" in stdout
+
+    def test_multitenancy_through_the_sweep_cli(self, capsys):
+        assert main(["sweep", "--experiment", "multitenancy", "--no-report"]) == 0
+        assert "0 point(s) run" in capsys.readouterr().out

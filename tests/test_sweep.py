@@ -315,7 +315,10 @@ class TestSweepCli:
         assert "reused only with --resume" in stdout
 
     def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
+        # Unknown names are rejected by the registry (with the known
+        # list), not by argparse choices — building the parser must not
+        # import every experiment module.
+        with pytest.raises(ConfigurationError, match="unknown study"):
             main(["sweep", "--experiment", "fig99"])
 
     def test_nonpositive_max_epochs_rejected(self):
