@@ -1,0 +1,110 @@
+"""Fuzz campaign acceptance run: seeded chaos at budget, benched.
+
+Runs the reference fuzz campaign (seed 0, 50 scenarios, 2 workers)
+end to end — sampling, invariant gating, the resilient pool, corpus
+plumbing — and requires it to come back green: the released engine
+must hold every invariant over the reference slice of the
+TrainingConfig x FaultPlan space. Then records campaign shape and
+wall clock into the ``fuzz_campaign`` section of ``BENCH_sweep.json``::
+
+    PYTHONPATH=src python benchmarks/bench_fuzz_campaign.py [--dry]
+
+``--dry`` prints the record without touching BENCH_sweep.json.
+"""
+
+from __future__ import annotations
+
+import os
+
+# Pin BLAS to one thread *before* numpy loads (same rationale as
+# repro.cli): invariant checks compare loss floats bit-for-bit, so the
+# trainings must be bit-deterministic.
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__ as repro_version
+from repro.fuzz import plan_campaign, run_campaign
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+SEED = 0
+BUDGET = 50
+WORKERS = 2
+
+
+def measure() -> dict:
+    # The plan is a pure function of (seed, budget): pin its shape so a
+    # drift in the sampler or the gating shows up as a bench diff, not
+    # as silently different coverage.
+    plan = plan_campaign(SEED, BUDGET)
+    per_invariant: dict[str, int] = {}
+    for task in plan:
+        for name in task.invariants:
+            per_invariant[name] = per_invariant.get(name, 0) + 1
+
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run_campaign(
+            budget=BUDGET, seed=SEED, workers=WORKERS, corpus_dir=tmp
+        )
+    wall = time.perf_counter() - t0
+
+    if not result.ok:
+        print("fuzz campaign acceptance failed:", file=sys.stderr)
+        for finding in result.findings:
+            print(f"  {finding.describe()}", file=sys.stderr)
+        raise SystemExit(1)
+    if result.checks != per_invariant:
+        print(
+            f"campaign ran {result.checks}, but the plan gated {per_invariant}",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+
+    return {
+        "note": (
+            "reference fuzz campaign: seeded property-based invariant "
+            "checks over sampled TrainingConfig x FaultPlan scenarios "
+            "(determinism, replay-vs-exact, fault trajectory-neutrality, "
+            "stat-sibling bit-identity, sweep roundtrip), fanned out over "
+            "the crash-resilient process pool. Green = every invariant "
+            "held on every gated scenario."
+        ),
+        "command": "PYTHONPATH=src python benchmarks/bench_fuzz_campaign.py",
+        "seed": SEED,
+        "budget": BUDGET,
+        "workers": WORKERS,
+        "scenarios": result.scenarios,
+        "checks_per_invariant": dict(sorted(result.checks.items())),
+        "checks_total": sum(result.checks.values()),
+        "campaign_wall_seconds": round(wall, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dry", action="store_true",
+                        help="print the record; do not update BENCH_sweep.json")
+    args = parser.parse_args(argv)
+
+    record = measure()
+    print(json.dumps(record, indent=1))
+    if args.dry:
+        return 0
+    baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+    baseline["fuzz_campaign"] = record
+    baseline["engine_version"] = repro_version
+    BASELINE.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n")
+    print(f"updated {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

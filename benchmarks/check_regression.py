@@ -61,7 +61,9 @@ _SWEEP_RELIABILITY_KEYS = {"points", "unique_stat_fingerprints",
 _RELIABILITY_ROW_KEYS = {"crash_rate_per_hour", "storage_error_rate",
                          "runtime_s", "cost_dollars", "overhead_s",
                          "overhead_dollars", "crashes"}
-_RELIABILITY_SERIES = {"faas-crash", "iaas-crash", "faas-storage"}
+_RELIABILITY_SERIES = {"faas-crash", "iaas-crash", "faas-storage", "faas-interval"}
+_SWEEP_FUZZ_KEYS = {"seed", "budget", "scenarios", "checks_per_invariant",
+                    "checks_total", "campaign_wall_seconds"}
 
 
 def check_sweep_baseline(path: Path) -> list[str]:
@@ -102,6 +104,33 @@ def check_sweep_baseline(path: Path) -> list[str]:
                 "artifacts — the recorded run was invalid"
             )
     problems.extend(_check_reliability_section(path, baseline.get("reliability")))
+    problems.extend(_check_fuzz_section(path, baseline.get("fuzz_campaign")))
+    return problems
+
+
+def _check_fuzz_section(path: Path, fuzz) -> list[str]:
+    """Shape-validate the reference fuzz-campaign record."""
+    if fuzz is None:  # optional until the fuzz bench has run
+        return []
+    if not isinstance(fuzz, dict):
+        return [f"{path.name}: 'fuzz_campaign' must be an object"]
+    missing = _SWEEP_FUZZ_KEYS - fuzz.keys()
+    if missing:
+        return [f"{path.name}: 'fuzz_campaign' section missing {sorted(missing)}"]
+    problems = []
+    if fuzz["scenarios"] != fuzz["budget"]:
+        problems.append(
+            f"{path.name}: fuzz campaign checked {fuzz['scenarios']} of "
+            f"{fuzz['budget']} budgeted scenarios"
+        )
+    checks = fuzz["checks_per_invariant"]
+    if not isinstance(checks, dict) or checks.get("completes") != fuzz["budget"]:
+        problems.append(
+            f"{path.name}: 'completes' must run on every scenario "
+            f"(got {checks})"
+        )
+    if sum(checks.values()) != fuzz["checks_total"]:
+        problems.append(f"{path.name}: fuzz checks_total is inconsistent")
     return problems
 
 

@@ -24,6 +24,6 @@ from repro.core.config import TrainingConfig
 from repro.core.driver import train
 from repro.core.results import RunResult
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = ["TrainingConfig", "train", "RunResult", "__version__"]

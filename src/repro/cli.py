@@ -33,6 +33,7 @@ for _var in BLAS_THREAD_VARS:
 
 import argparse
 import dataclasses
+import json
 import sys
 
 from repro.analytics.estimator import SamplingEstimator
@@ -305,6 +306,72 @@ def _run_sweep(args: argparse.Namespace) -> int:
         f"{len(run.corrupt)} corrupt artifact(s) re-run; "
         f"artifacts in {run.out_dir}" + detail
     )
+    if run.failed:
+        print(f"{len(run.failed)} point(s) FAILED:", file=sys.stderr)
+        for failure in run.failed:
+            print(
+                f"  {failure['label']} ({failure['config_hash']}): "
+                f"{failure['reason']}",
+                file=sys.stderr,
+            )
+        print(
+            "re-run with --resume to retry only the failed point(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _add_fuzz_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "fuzz",
+        help="run a seeded property-based fuzz campaign over the "
+        "TrainingConfig x FaultPlan space, shrinking failures into the "
+        "regression corpus",
+    )
+    p.add_argument("--budget", type=int, default=50,
+                   help="number of scenarios to check (default: 50)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; 'seed:index' alone reproduces any "
+                   "scenario (default: 0)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="fuzz worker processes; a dying worker is recorded "
+                   "as a process_survives finding, not a hang (default: 1)")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="where to save shrunk counterexamples (default: the "
+                   "in-tree tests/data/fuzz_corpus replayed by tier-1)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="record raw counterexamples without minimising them")
+    p.add_argument("--show-scenario", default=None, metavar="SEED:INDEX",
+                   help="print the config kwargs of one scenario id and exit")
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import DEFAULT_CORPUS_DIR, ScenarioSpace, run_campaign
+
+    if args.show_scenario is not None:
+        scenario = ScenarioSpace.from_id(args.show_scenario)
+        print(json.dumps(scenario.config_kwargs, indent=2, sort_keys=True))
+        return 0
+    if args.budget < 1:
+        print("error: --budget must be >= 1", file=sys.stderr)
+        return 2
+    result = run_campaign(
+        budget=args.budget,
+        seed=args.seed,
+        workers=args.workers,
+        corpus_dir=args.corpus or DEFAULT_CORPUS_DIR,
+        shrink_failures=not args.no_shrink,
+        progress=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    print(result.summary())
+    if result.findings:
+        print(f"{len(result.findings)} counterexample(s):", file=sys.stderr)
+        for finding in result.findings:
+            print(f"  {finding.describe()}", file=sys.stderr)
+            if finding.corpus_path:
+                print(f"    saved: {finding.corpus_path}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -318,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("workloads", help="list tuned Table-4 workloads")
     _add_estimate_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_fuzz_parser(subparsers)
     return parser
 
 
@@ -328,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": _run_workloads,
         "estimate": _run_estimate,
         "sweep": _run_sweep,
+        "fuzz": _run_fuzz,
     }
     return handlers[args.command](args)
 

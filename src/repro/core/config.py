@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, fields
 from repro.config import DEFAULT_SEED
 from repro.data.datasets import get_spec
 from repro.errors import ConfigurationError
+from repro.faas.limits import LambdaLimits
 from repro.models.zoo import get_model_info
 from repro.utils.hashing import fingerprint_hash
 
@@ -62,10 +63,11 @@ ANGEL_COMPUTE_FACTOR = 1.56
 # (aggregation folds contributions in canonical rank order on every
 # pattern and platform; see repro.comm.patterns). The fault axes
 # (crash_rate, mttf_s, storage_error_rate, storage_retry_limit,
-# storage_retry_base_s, cold_start_jitter) are likewise absent: BSP
-# crash recovery replays the identical statistical stream from the
-# last checkpoint and storage retries only stretch operations, so a
-# whole fault grid shares one statistical fingerprint — and one
+# storage_retry_base_s, cold_start_jitter, checkpoint_interval) are
+# likewise absent: BSP crash recovery replays the identical
+# statistical stream from the last checkpoint (however sparsely those
+# checkpoints are spaced) and storage retries only stretch operations,
+# so a whole fault grid shares one statistical fingerprint — and one
 # recorded trace (pinned by tests/test_fault_injection.py's golden
 # invariance tests).
 STAT_FIELDS = (
@@ -247,6 +249,15 @@ class TrainingConfig:
         default=0.0,
         metadata=_cli("relative spread of re-invocation cold starts"),
     )
+    # How many round boundaries apart FaaS recovery checkpoints are
+    # written under crash injection. 1 (the MLLess-style default)
+    # checkpoints every round; larger intervals trade checkpoint I/O
+    # for more re-executed rounds after a crash — clocks and dollars
+    # move, the trajectory does not.
+    checkpoint_interval: int = field(
+        default=1,
+        metadata=_cli("rounds between FaaS recovery checkpoints (1 = every round)"),
+    )
 
     # Derived (filled by __post_init__).
     platform: str = field(init=False)
@@ -281,6 +292,10 @@ class TrainingConfig:
             raise ConfigurationError("storage_retry_base_s must be >= 0")
         if self.cold_start_jitter < 0:
             raise ConfigurationError("cold_start_jitter must be >= 0")
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError(
+                f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
+            )
         if self.fault_mttf_s is not None and (
             self.protocol != "bsp" or self.platform not in ("faas", "iaas")
         ):
@@ -383,3 +398,54 @@ def config_fingerprint(config: TrainingConfig) -> dict:
         for f in fields(TrainingConfig)
         if f.init
     }
+
+
+def faas_memory_error(config: TrainingConfig) -> str | None:
+    """The §5.2 Lambda OOM envelope, as a predicate.
+
+    Returns why this config cannot fit one worker into its Lambda
+    function, or ``None`` when it fits. Shared by the job context
+    (which raises :class:`~repro.errors.OutOfMemoryError` at setup)
+    and :func:`config_validity_error` (which lets the scenario fuzzer
+    reject infeasible samples before spending a training on them).
+    """
+    if PLATFORM_OF_SYSTEM[config.system] not in ("faas", "hybrid"):
+        return None
+    spec = get_spec(config.dataset)
+    info = get_model_info(config.model, config.dataset, k=config.k, l2=config.l2)
+    limits = LambdaLimits(
+        memory_gb=config.lambda_memory_gb, lifetime_s=config.lambda_lifetime_s
+    )
+    local_batch = max(1, config.global_batch // config.workers)
+    needed = (
+        spec.partition_bytes(config.workers)
+        + 4 * info.param_bytes
+        + local_batch * info.activation_bytes_per_instance
+    )
+    if needed > limits.memory_bytes:
+        return (
+            f"{config.model}/{config.dataset} with batch {config.global_batch} on "
+            f"{config.workers} workers needs ~{needed / 1024**3:.2f} GiB per function, "
+            f"exceeding the {limits.memory_gb:.0f} GB Lambda limit"
+        )
+    return None
+
+
+def config_validity_error(kwargs: dict) -> str | None:
+    """Why these ``TrainingConfig`` kwargs cannot run, or ``None``.
+
+    The legal-space predicate the scenario fuzzer samples against:
+    constructor validation (unknown systems, incompatible
+    algorithm/model pairs, crash faults on timing-coupled platforms,
+    out-of-range fault axes...) plus the pre-flight resource envelopes
+    that would abort a run during setup (the Lambda memory check).
+    A ``None`` return means ``train(TrainingConfig(**kwargs))`` will
+    not be rejected before its first simulated event.
+    """
+    try:
+        config = TrainingConfig(**kwargs)
+    except TypeError as exc:
+        return f"bad constructor kwargs: {exc}"
+    except ConfigurationError as exc:
+        return str(exc)
+    return faas_memory_error(config)

@@ -25,6 +25,7 @@ from repro.core.config import (
     ANGEL_COMPUTE_FACTOR,
     ANGEL_STARTUP_EXTRA_S,
     TrainingConfig,
+    faas_memory_error,
 )
 from repro.core.results import LossPoint
 from repro.comm.patterns import allreduce, scatter_reduce
@@ -34,7 +35,6 @@ from repro.errors import ConfigurationError, OutOfMemoryError
 from repro.faas.limits import LambdaLimits, lambda_speed_factor
 from repro.faas.runtime import FunctionLifetime, faas_startup_seconds
 from repro.faults.plan import FaultPlan, StorageFaultPolicy
-from repro.faults.retry import RetryPolicy
 from repro.iaas.cluster import VMCluster
 from repro.iaas.mpi import MPICommunicator
 from repro.iaas.ps import ParameterServer, make_parameter_server
@@ -85,16 +85,7 @@ class JobContext:
         # starts and transient storage errors (repro.faults). The plan
         # always exists (cheap, empty when all rates are zero); the
         # injector is installed by the driver only when crashes are on.
-        self.fault_plan = FaultPlan(
-            seed=config.seed,
-            mttf_s=config.fault_mttf_s,
-            storage_error_rate=config.storage_error_rate,
-            cold_start_jitter=config.cold_start_jitter,
-            retry=RetryPolicy(
-                limit=config.storage_retry_limit,
-                base_s=config.storage_retry_base_s,
-            ),
-        )
+        self.fault_plan = FaultPlan.from_config(config)
         self.fault_injector = None
 
         # Training data is staged in S3 for every platform (paper §5.1).
@@ -188,20 +179,15 @@ class JobContext:
         self._check_faas_memory()
 
     def _check_faas_memory(self) -> None:
-        """Enforce the 3 GB Lambda memory envelope (paper §5.2 OOM case)."""
-        cfg = self.config
-        local_batch = max(1, self.config.global_batch // cfg.workers)
-        needed = (
-            self.spec.partition_bytes(cfg.workers)
-            + 4 * self.info.param_bytes
-            + local_batch * self.info.activation_bytes_per_instance
-        )
-        if needed > self.limits.memory_bytes:
-            raise OutOfMemoryError(
-                f"{cfg.model}/{cfg.dataset} with batch {self.config.global_batch} on "
-                f"{cfg.workers} workers needs ~{needed / 1024**3:.2f} GiB per function, "
-                f"exceeding the {self.limits.memory_gb:.0f} GB Lambda limit"
-            )
+        """Enforce the 3 GB Lambda memory envelope (paper §5.2 OOM case).
+
+        The arithmetic lives in :func:`repro.core.config.
+        faas_memory_error` so the scenario fuzzer's validity predicate
+        and this setup-time check can never disagree.
+        """
+        error = faas_memory_error(self.config)
+        if error is not None:
+            raise OutOfMemoryError(error)
 
     # ------------------------------------------------------------------
     # Statistical substrate
@@ -328,6 +314,7 @@ class JobContext:
             "storage_errors": 0,
             "storage_retries": 0,
             "storage_backoff_s": 0.0,
+            "storage_exhaustions": 0,
         }
         if self.fault_injector is not None:
             injected = self.fault_injector.events()
@@ -342,6 +329,7 @@ class JobContext:
             events["storage_errors"] += store.fault_events["storage_errors"]
             events["storage_retries"] += store.fault_events["retries"]
             events["storage_backoff_s"] += store.fault_events["backoff_s"]
+            events["storage_exhaustions"] += store.fault_events["exhaustions"]
         return events
 
     def converged(self, loss: float) -> bool:

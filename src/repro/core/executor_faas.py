@@ -33,7 +33,7 @@ from repro.comm.protocols import (
 )
 from repro.core.bsp_loop import RoundState, bsp_rounds
 from repro.core.context import JobContext, WorkerOutcome
-from repro.errors import FunctionTimeoutError
+from repro.errors import FunctionTimeoutError, TransientStorageError
 from repro.faas.checkpoint import Checkpoint, checkpoint_bytes
 from repro.faas.runtime import REINVOKE_OVERHEAD_S, FunctionLifetime
 from repro.faults.injector import WorkerResume
@@ -52,56 +52,69 @@ def faas_bsp_worker(ctx: JobContext, rank: int, resume: WorkerResume | None = No
     on the restored initial statistical state).
     """
     injector = ctx.fault_injector
-    if resume is None:
-        yield Sleep(ctx.startup_s, "startup")
-    else:
-        yield Sleep(resume.cold_start_s, "startup")
-    lifetime = FunctionLifetime(ctx.limits, ctx.engine.now)
-    if resume is not None:
-        lifetime.incarnations = resume.incarnation
-    ctx.lifetimes[rank] = lifetime
-    yield Get(ctx.data_store, ctx.partition_key(rank), category="load")
+    try:
+        if resume is None:
+            yield Sleep(ctx.startup_s, "startup")
+        else:
+            yield Sleep(resume.cold_start_s, "startup")
+        lifetime = FunctionLifetime(ctx.limits, ctx.engine.now)
+        if resume is not None:
+            lifetime.incarnations = resume.incarnation
+        ctx.lifetimes[rank] = lifetime
+        yield Get(ctx.data_store, ctx.partition_key(rank), category="load")
 
-    round_state: RoundState | None = None
-    if resume is not None:
-        ctx.substrate.restore_rank(rank, resume.snapshot)
-        if resume.round_state is not None:
-            # State reload: fetch the checkpoint the predecessor wrote.
-            yield Get(ctx.data_store, Checkpoint.key_for(rank), category="checkpoint")
-            round_state = resume.round_state
+        round_state: RoundState | None = None
+        if resume is not None:
+            ctx.substrate.restore_rank(rank, resume.snapshot)
+            if resume.round_state is not None:
+                # State reload: fetch the checkpoint the predecessor wrote.
+                yield Get(
+                    ctx.data_store, Checkpoint.key_for(rank), category="checkpoint"
+                )
+                round_state = resume.round_state
 
-    def exchange(round_id: str, wire: np.ndarray, nbytes: int):
-        merged = yield from ctx.exchange(rank, round_id, wire, nbytes=nbytes)
-        return merged
+        def exchange(round_id: str, wire: np.ndarray, nbytes: int):
+            merged = yield from ctx.exchange(rank, round_id, wire, nbytes=nbytes)
+            return merged
 
-    def pre_round(state: RoundState):
-        """Round-boundary bookkeeping: recovery checkpoint + Figure 5."""
-        if injector is not None and injector.should_checkpoint(rank, state.rounds):
-            # Persist a recovery checkpoint *before* the round so a
-            # crash anywhere inside it resumes from this boundary. The
-            # in-memory snapshot is saved only after the Put completes:
-            # a checkpoint is recoverable once durable, not before.
-            yield from write_checkpoint(
-                ctx, rank, state.epoch_float, state.rounds, state.local_loss
-            )
-            injector.save_recovery(rank, state, ctx.substrate.snapshot_rank(rank))
-        round_estimate = ctx.round_seconds(rank)
-        if round_estimate > ctx.limits.lifetime_s - ctx.limits.checkpoint_margin_s:
-            raise FunctionTimeoutError(
-                f"a single round needs {round_estimate:.0f}s, which cannot fit in "
-                f"one {ctx.limits.lifetime_s:.0f}s function lifetime "
-                "(the paper's unsupported >15-minute-iteration case)"
-            )
-        if lifetime.needs_checkpoint(ctx.engine.now, round_estimate):
-            yield from checkpoint_and_reinvoke(
-                ctx, rank, ctx.stats(rank), state.epoch_float, state.rounds,
-                state.local_loss,
-            )
-            lifetime.reincarnate(ctx.engine.now)
+        def pre_round(state: RoundState):
+            """Round-boundary bookkeeping: recovery checkpoint + Figure 5."""
+            if injector is not None and injector.should_checkpoint(rank, state.rounds):
+                # Persist a recovery checkpoint *before* the round so a
+                # crash anywhere inside it resumes from this boundary. The
+                # in-memory snapshot is saved only after the Put completes:
+                # a checkpoint is recoverable once durable, not before.
+                yield from write_checkpoint(
+                    ctx, rank, state.epoch_float, state.rounds, state.local_loss
+                )
+                injector.save_recovery(rank, state, ctx.substrate.snapshot_rank(rank))
+            round_estimate = ctx.round_seconds(rank)
+            if round_estimate > ctx.limits.lifetime_s - ctx.limits.checkpoint_margin_s:
+                raise FunctionTimeoutError(
+                    f"a single round needs {round_estimate:.0f}s, which cannot fit in "
+                    f"one {ctx.limits.lifetime_s:.0f}s function lifetime "
+                    "(the paper's unsupported >15-minute-iteration case)"
+                )
+            if lifetime.needs_checkpoint(ctx.engine.now, round_estimate):
+                yield from checkpoint_and_reinvoke(
+                    ctx, rank, ctx.stats(rank), state.epoch_float, state.rounds,
+                    state.local_loss,
+                )
+                lifetime.reincarnate(ctx.engine.now)
 
-    outcome = yield from bsp_rounds(
-        ctx, rank, exchange, pre_round=pre_round, resume=round_state
-    )
+        outcome = yield from bsp_rounds(
+            ctx, rank, exchange, pre_round=pre_round, resume=round_state
+        )
+    except TransientStorageError:
+        if injector is None or not injector.crashes_enabled:
+            raise  # no recovery machinery running: the job fails
+        # A storage op gave up past its retry budget: this function
+        # dies exactly like a crashed one. Hand off to the injector,
+        # which spawns the successor incarnation from the last durable
+        # checkpoint; returning a non-WorkerOutcome makes the driver
+        # ignore this incarnation's (partial) result.
+        injector.recover_from_storage_exhaustion(rank)
+        return None
     return outcome
 
 

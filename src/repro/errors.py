@@ -43,7 +43,14 @@ class ServiceNotStartedError(StorageError):
 
 
 class TransientStorageError(StorageError):
-    """A storage operation kept failing past the retry policy's budget."""
+    """A storage operation kept failing past the retry policy's budget.
+
+    ``failed_at`` carries the simulated instant the op gave up (the
+    completion of its last failed attempt); the engine delivers the
+    error to the issuing worker at that time.
+    """
+
+    failed_at: float | None = None
 
 
 class FaaSError(ReproError):
@@ -80,6 +87,10 @@ class ConvergenceError(ReproError):
 
 class FaultInjectionError(ReproError):
     """The fault plane cannot inject faults into this configuration."""
+
+
+class FuzzError(ReproError):
+    """The scenario fuzzer could not sample, check or replay a scenario."""
 
 
 class SubstrateError(ReproError):

@@ -17,6 +17,12 @@ workload:
 A third series sweeps the transient storage-error rate (FaaS only):
 failed puts/gets retry under exponential backoff, billed per attempt.
 
+A fourth series holds the FaaS crash rate fixed and sweeps
+``checkpoint_interval``: checkpointing every N-th round boundary pays
+less overhead per round but re-executes up to N rounds per crash — the
+classic checkpoint-frequency trade-off, measured in the same
+overhead-vs-baseline units as the other curves.
+
 Every point shares one statistical fingerprint — crash and retry axes
 are systems axes — so a ``--substrate auto`` sweep records *one* exact
 trace and replays the entire grid in milliseconds per point. Each
@@ -48,7 +54,20 @@ FAAS_CRASH_RATES = (0.0, 2.0, 4.0, 8.0, 16.0, 30.0, 60.0)
 IAAS_CRASH_RATES = (0.0, 1.0, 2.0, 4.0, 8.0)
 # Per-operation transient failure probabilities for the retry series.
 STORAGE_ERROR_RATES = (0.0, 0.002, 0.01, 0.05)
+# Checkpoint cadences swept at INTERVAL_CRASH_RATE crashes/worker/hour.
+# Interval 1 is omitted from the grid: it is byte-for-byte the
+# faas-crash point at that rate (checkpoint_interval defaults to 1),
+# and duplicate hashes collapse into the first series anyway.
+CHECKPOINT_INTERVALS = (2, 4, 8)
+INTERVAL_CRASH_RATE = 8.0
 WORKERS = 10
+# Fixed statistical budget for every point: the epochs the Table-4
+# threshold run actually uses. No early stop — identical work per
+# point keeps the overhead comparison like for like, and bounds the
+# job length so IaaS restart-from-scratch survives the top crash rate
+# (survival decays as exp(-D*w/mttf); at the 60-epoch workload
+# ceiling the rate-8 point would need ~e^7 attempts).
+EPOCH_BUDGET = 10
 
 
 @dataclass
@@ -56,6 +75,7 @@ class ReliabilityPoint:
     series: str
     crash_rate: float
     storage_error_rate: float
+    checkpoint_interval: int
     runtime_s: float
     cost: float
     overhead_s: float  # vs the series' zero-fault baseline
@@ -75,15 +95,19 @@ def sweep_points(
     crash_rates=FAAS_CRASH_RATES,
     iaas_crash_rates=IAAS_CRASH_RATES,
     storage_error_rates=STORAGE_ERROR_RATES,
+    checkpoint_intervals=CHECKPOINT_INTERVALS,
     workers: int = WORKERS,
 ) -> list[SweepPoint]:
     """Declarative grid for the cost-of-reliability curves."""
     workload = get_workload("lr", "higgs")
+    # admm_scans=2 gives the job a real round structure (5 exchange
+    # rounds over EPOCH_BUDGET instead of 1) — without it a crash
+    # always re-executes the whole job and the checkpoint-cadence
+    # series would be vacuous.
     base = dict(
-        model="lr", dataset="higgs", algorithm="admm",
+        model="lr", dataset="higgs", algorithm="admm", admm_scans=2,
         workers=workers, batch_size=workload.batch_size, lr=workload.lr,
-        loss_threshold=workload.threshold,
-        max_epochs=max_epochs or workload.max_epochs, seed=seed,
+        max_epochs=max_epochs or EPOCH_BUDGET, seed=seed,
     )
     points = [
         SweepPoint(
@@ -118,6 +142,22 @@ def sweep_points(
         )
         if kw["storage_error_rate"] > 0  # rate 0 already in faas-crash
     ]
+    points += [
+        SweepPoint(
+            "figR",
+            f"faas,checkpoint_interval={kw['checkpoint_interval']},"
+            f"crash_rate={INTERVAL_CRASH_RATE:g}/h",
+            config_kwargs=kw,
+            tags={"series": "faas-interval", "system": "faas"},
+        )
+        for kw in expand_grid(
+            dict(
+                base, system="lambdaml", channel="s3",
+                crash_rate=INTERVAL_CRASH_RATE,
+            ),
+            {"checkpoint_interval": checkpoint_intervals},
+        )
+    ]
     return points
 
 
@@ -134,6 +174,7 @@ def aggregate(artifacts: list[dict]) -> list[ReliabilityCurve]:
                 series=series,
                 crash_rate=config["crash_rate"],
                 storage_error_rate=config["storage_error_rate"],
+                checkpoint_interval=config.get("checkpoint_interval", 1),
                 runtime_s=res["duration_s"],
                 cost=res["cost_total"],
                 overhead_s=0.0,
@@ -150,8 +191,10 @@ def aggregate(artifacts: list[dict]) -> list[ReliabilityCurve]:
             if point.crash_rate == 0 and point.storage_error_rate == 0:
                 baselines[curve.series] = point
     faas_base = baselines.get("faas-crash")
-    if faas_base is not None and "faas-storage" in curves:
+    if faas_base is not None:
+        # Both borrowed series share the faas-crash zero-fault config.
         baselines.setdefault("faas-storage", faas_base)
+        baselines.setdefault("faas-interval", faas_base)
     for curve in curves.values():
         base = baselines.get(curve.series)
         if base is None:
@@ -176,9 +219,11 @@ def format_report(curves: list[ReliabilityCurve]) -> str:
         rows = [
             [
                 (
-                    f"{p.crash_rate:g}/h"
-                    if curve.series != "faas-storage"
-                    else f"{p.storage_error_rate:g}"
+                    f"{p.storage_error_rate:g}"
+                    if curve.series == "faas-storage"
+                    else f"every {p.checkpoint_interval} @ {p.crash_rate:g}/h"
+                    if curve.series == "faas-interval"
+                    else f"{p.crash_rate:g}/h"
                 ),
                 p.runtime_s,
                 p.cost,

@@ -114,11 +114,16 @@ class FaultInjector:
     def should_checkpoint(self, rank: int, rounds: int) -> bool:
         """Persist a recovery checkpoint at this round boundary?
 
-        True once per boundary: a successor resuming *at* its
-        checkpointed round skips re-writing the checkpoint it just
-        restored from.
+        Only boundaries on the config's ``checkpoint_interval`` grid
+        qualify (1 = every round, the MLLess-style default; wider
+        intervals trade checkpoint I/O for re-executed rounds after a
+        crash). True at most once per boundary: a successor resuming
+        *at* its checkpointed round skips re-writing the checkpoint it
+        just restored from.
         """
         if not self.crashes_enabled:
+            return False
+        if rounds % self._ctx.config.checkpoint_interval != 0:
             return False
         recovery = self._recovery.get(rank)
         return recovery is None or recovery.round_state.rounds != rounds
@@ -149,26 +154,7 @@ class FaultInjector:
                 return  # the worker outlived its hazard
             engine.kill(proc)
             self.crashes += 1
-            recovery = self._recovery.get(rank)
-            # Roll back loss records the dead incarnation made past its
-            # last durable checkpoint; the successor re-records them.
-            self._truncate_history(rank, recovery.records if recovery else 0)
-            incarnation = ctx.next_invocation(rank)
-            resume = WorkerResume(
-                incarnation=incarnation,
-                cold_start_s=self.plan.cold_start_s(
-                    rank, incarnation, REINVOKE_OVERHEAD_S
-                ),
-                round_state=recovery.round_state if recovery else None,
-                snapshot=recovery.snapshot if recovery else self._initial[rank],
-            )
-            successor = engine.spawn(
-                self._executor(ctx, rank, resume),
-                name=f"worker-{rank}#{incarnation}",
-            )
-            self.respawns += 1
-            ctx.worker_procs[rank] = successor
-            ctx.all_worker_procs.append(successor)
+            self._respawn(rank)
 
     def _iaas_monitor(self):
         """Any worker crash restarts the whole cluster from scratch."""
@@ -206,6 +192,53 @@ class FaultInjector:
                 )
                 ctx.worker_procs[r] = successor
                 ctx.all_worker_procs.append(successor)
+
+    # ------------------------------------------------------------------
+    # FaaS respawn (shared by the crash monitor and executor-side recovery)
+    # ------------------------------------------------------------------
+    def _respawn(self, rank: int) -> None:
+        """Spawn `rank`'s successor incarnation from its last checkpoint.
+
+        The dead incarnation must already be finished (killed by the
+        monitor, or ended by its own recovery hand-off); loss records it
+        made past the last durable checkpoint are rolled back here and
+        re-recorded — with bit-identical values — by the successor.
+        """
+        ctx = self._ctx
+        recovery = self._recovery.get(rank)
+        self._truncate_history(rank, recovery.records if recovery else 0)
+        incarnation = ctx.next_invocation(rank)
+        resume = WorkerResume(
+            incarnation=incarnation,
+            cold_start_s=self.plan.cold_start_s(
+                rank, incarnation, REINVOKE_OVERHEAD_S
+            ),
+            round_state=recovery.round_state if recovery else None,
+            snapshot=recovery.snapshot if recovery else self._initial[rank],
+        )
+        successor = ctx.engine.spawn(
+            self._executor(ctx, rank, resume),
+            name=f"worker-{rank}#{incarnation}",
+        )
+        self.respawns += 1
+        ctx.worker_procs[rank] = successor
+        ctx.all_worker_procs.append(successor)
+
+    def recover_from_storage_exhaustion(self, rank: int) -> None:
+        """Executor-side recovery: retries exhausted mid-run killed `rank`.
+
+        A LambdaML worker whose storage op fails past the retry budget
+        dies exactly like a crashed one — the difference is that the
+        worker generator sees the error itself (thrown in by the
+        engine) and hands off here before returning, instead of being
+        killed by a monitor. Only meaningful on FaaS runs with crash
+        recovery active (per-round checkpoints are being written).
+        """
+        if self._ctx is None or self._ctx.config.platform != "faas":
+            raise FaultInjectionError(
+                "storage-exhaustion recovery requires an installed FaaS injector"
+            )
+        self._respawn(rank)
 
     # ------------------------------------------------------------------
     def _truncate_history(self, rank: int, keep: int) -> None:

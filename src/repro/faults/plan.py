@@ -30,10 +30,13 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ConfigurationError
 from repro.faults.retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - core imports faults at runtime
+    from repro.core.config import TrainingConfig
 
 _U64 = float(2**64)
 
@@ -65,6 +68,27 @@ class FaultPlan:
             raise ConfigurationError(
                 f"cold_start_jitter must be >= 0, got {self.cold_start_jitter}"
             )
+
+    @classmethod
+    def from_config(cls, config: "TrainingConfig") -> "FaultPlan":
+        """The plan a config's fault axes denote (pure, no context needed).
+
+        The single sampling hook every consumer shares: the job context
+        builds its runtime plan through this, and the scenario fuzzer
+        derives crash/error schedules for sampled configs from the very
+        same mapping — so a scenario's fault plan can never drift from
+        what ``train()`` would actually inject.
+        """
+        return cls(
+            seed=config.seed,
+            mttf_s=config.fault_mttf_s,
+            storage_error_rate=config.storage_error_rate,
+            cold_start_jitter=config.cold_start_jitter,
+            retry=RetryPolicy(
+                limit=config.storage_retry_limit,
+                base_s=config.storage_retry_base_s,
+            ),
+        )
 
     # -- crash schedule ---------------------------------------------------
     @property

@@ -1,0 +1,57 @@
+"""Scenario fuzzer + chaos suite for the LambdaML reproduction.
+
+Seeded property-based testing over the full TrainingConfig x FaultPlan
+space: :mod:`~repro.fuzz.space` samples valid scenarios content-
+addressably (``"seed:index"`` is a full repro), :mod:`~repro.fuzz
+.invariants` is the property catalog, :mod:`~repro.fuzz.runner` runs
+budgeted campaigns over the resilient process pool, :mod:`~repro.fuzz
+.shrink` minimises counterexamples and :mod:`~repro.fuzz.corpus`
+persists them as a regression corpus that tier-1 replays forever.
+"""
+
+from repro.fuzz.corpus import (
+    CORPUS_SCHEMA_VERSION,
+    DEFAULT_CORPUS_DIR,
+    CorpusEntry,
+    load_corpus,
+    load_entry,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.invariants import FAULT_FIELDS, INVARIANTS, Invariant, sibling_kwargs
+from repro.fuzz.runner import (
+    PROCESS_SURVIVES,
+    CampaignResult,
+    CampaignTask,
+    Finding,
+    plan_campaign,
+    run_campaign,
+)
+from repro.fuzz.shrink import MAX_EVALS, ShrinkResult, shrink
+from repro.fuzz.space import MAX_ATTEMPTS, Scenario, ScenarioSpace
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "DEFAULT_CORPUS_DIR",
+    "FAULT_FIELDS",
+    "INVARIANTS",
+    "MAX_ATTEMPTS",
+    "MAX_EVALS",
+    "PROCESS_SURVIVES",
+    "CampaignResult",
+    "CampaignTask",
+    "CorpusEntry",
+    "Finding",
+    "Invariant",
+    "Scenario",
+    "ScenarioSpace",
+    "ShrinkResult",
+    "load_corpus",
+    "load_entry",
+    "plan_campaign",
+    "replay_entry",
+    "run_campaign",
+    "save_entry",
+    "shrink",
+    "sibling_kwargs",
+]

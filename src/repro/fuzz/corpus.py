@@ -1,0 +1,115 @@
+"""The regression corpus: shrunk counterexamples that replay forever.
+
+Every failure a fuzz campaign finds is shrunk and saved as one small
+JSON file. The corpus is the campaign's durable output: tier-1 tests
+replay every entry on every run, so a bug the fuzzer caught once can
+never silently return — the corpus entry *is* the regression test.
+
+An entry records the shrunk config kwargs, the invariant they violated
+and the original failure context. Replaying an entry re-runs its
+invariant on its kwargs and expects it to **hold**: entries enter the
+corpus when a bug is found, and the fix that closes the bug turns the
+entry green permanently. A red replay means the old bug is back (or
+was never fixed).
+
+Entries are content-light on purpose — kwargs, not artifacts — because
+the whole pipeline is deterministic: the kwargs alone reproduce every
+byte of the original failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import FuzzError
+from repro.fuzz.invariants import INVARIANTS
+
+CORPUS_SCHEMA_VERSION = 1
+
+#: The tree-relative corpus replayed by tier-1 (tests/test_fuzz_corpus.py).
+DEFAULT_CORPUS_DIR = (
+    Path(__file__).resolve().parents[3] / "tests" / "data" / "fuzz_corpus"
+)
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One shrunk counterexample, pinned for eternal replay."""
+
+    invariant: str
+    config_kwargs: dict
+    scenario_id: str  # "seed:index" of the campaign scenario that found it
+    message: str  # failure description at save time
+    shrunk_fields: list[str] = field(default_factory=list)
+    schema: int = CORPUS_SCHEMA_VERSION
+
+    @property
+    def name(self) -> str:
+        return f"{self.invariant}-{self.scenario_id.replace(':', '-')}"
+
+
+def save_entry(corpus_dir: str | os.PathLike, entry: CorpusEntry) -> Path:
+    """Write ``entry`` atomically as ``<invariant>-<seed>-<index>.json``."""
+    directory = Path(corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.json"
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(asdict(entry), indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_entry(path: str | os.PathLike) -> CorpusEntry:
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FuzzError(f"unreadable corpus entry {path}: {exc}") from exc
+    schema = raw.get("schema")
+    if schema != CORPUS_SCHEMA_VERSION:
+        raise FuzzError(
+            f"corpus entry {path.name} has schema {schema!r} "
+            f"(this engine reads schema {CORPUS_SCHEMA_VERSION})"
+        )
+    try:
+        return CorpusEntry(
+            invariant=raw["invariant"],
+            config_kwargs=dict(raw["config_kwargs"]),
+            scenario_id=raw["scenario_id"],
+            message=raw["message"],
+            shrunk_fields=list(raw.get("shrunk_fields", [])),
+        )
+    except KeyError as exc:
+        raise FuzzError(f"corpus entry {path.name} is missing field {exc}") from exc
+
+
+def load_corpus(corpus_dir: str | os.PathLike = DEFAULT_CORPUS_DIR) -> list[CorpusEntry]:
+    """All entries of a corpus directory, sorted by filename."""
+    directory = Path(corpus_dir)
+    if not directory.is_dir():
+        return []
+    return [load_entry(path) for path in sorted(directory.glob("*.json"))]
+
+
+def replay_entry(entry: CorpusEntry) -> str | None:
+    """Re-run an entry's invariant; ``None`` means the old bug stays dead.
+
+    A non-``None`` return is the failure message — the regression the
+    corpus exists to catch.
+    """
+    invariant = INVARIANTS.get(entry.invariant)
+    if invariant is None:
+        raise FuzzError(
+            f"corpus entry {entry.name} references unknown invariant "
+            f"{entry.invariant!r}; known: {sorted(INVARIANTS)}"
+        )
+    if not invariant.applies(entry.config_kwargs):
+        raise FuzzError(
+            f"corpus entry {entry.name}: invariant {entry.invariant!r} "
+            "no longer applies to the stored kwargs (config semantics "
+            "drifted; regenerate or retire the entry)"
+        )
+    return invariant.check(dict(entry.config_kwargs))

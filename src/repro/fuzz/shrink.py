@@ -1,0 +1,164 @@
+"""Greedy per-field shrinking of failing scenarios.
+
+A raw counterexample from the fuzzer is a dict of a dozen-plus config
+kwargs, most of them irrelevant to the failure. The shrinker walks the
+kwargs greedily — for each field, try dropping it (fall back to the
+TrainingConfig default), then try each smaller/simpler ladder value —
+re-running the *failing invariant only* on every candidate and keeping
+any change that still fails. It loops to a fixpoint (a change that
+helps can unlock further drops) under a hard evaluation cap, since
+every probe is a real training run.
+
+The result is the classic property-based-testing artifact: a minimal
+config where every remaining field is load-bearing for the failure,
+small enough to read, cheap enough to replay in CI forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import config_validity_error
+from repro.fuzz.invariants import Invariant
+
+# Hard cap on invariant evaluations per shrink. Each probe trains at
+# least once; the greedy pass over ~15 fields x ~3 candidates twice
+# fits comfortably, and a pathological ping-pong cannot run away.
+MAX_EVALS = 80
+
+# Simplest-first ladders tried per field *after* the plain drop. A
+# probe may only move a field to a strictly earlier (simpler) ladder
+# position than its current value — otherwise two failing ladder values
+# ping-pong forever, burning the eval budget without converging. Only
+# fields whose smaller values genuinely simplify the repro are listed;
+# everything else just gets the drop-to-default probe.
+_SHRINK_LADDERS: dict[str, tuple] = {
+    "workers": (2, 3, 4),
+    "max_epochs": (1,),
+    "k": (3,),
+    "batch_size": (10000,),  # fewer iterations per epoch
+    "seed": (3,),
+    "lr": (0.01,),
+    "data_scale": (500, 200, 80, 40),  # bigger divisor = smaller data
+    "mttf_s": (300.0, 600.0),
+    "checkpoint_interval": (1,),
+    "storage_error_rate": (0.01,),
+    "storage_retry_limit": (8, 5),
+}
+
+# Fields whose TrainingConfig default is *heavier* than any fuzzed
+# value (data_scale=None is the full dataset, max_epochs=60, workers=
+# 10): never probe the plain drop, only the ladder — dropping them is
+# not a simplification and would make probes explosively slow.
+_NO_DROP = frozenset({"data_scale", "max_epochs", "workers"})
+
+# Probe order: least structural first, so noise axes vanish before the
+# shrinker starts probing the workload shape itself.
+_DROP_ORDER = (
+    "cold_start_jitter",
+    "straggler_jitter",
+    "ma_sync_epochs",
+    "batch_scope",
+    "checkpoint_interval",
+    "storage_retry_limit",
+    "storage_error_rate",
+    "mttf_s",
+    "channel",
+    "pattern",
+    "protocol",
+    "batch_size",
+    "lr",
+    "seed",
+    "max_epochs",
+    "k",
+    "data_scale",
+    "workers",
+    "system",
+    "algorithm",
+    "dataset",
+    "model",
+)
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one counterexample."""
+
+    kwargs: dict
+    message: str  # failure message of the *shrunk* config
+    evals: int = 0
+    shrunk_fields: list[str] = field(default_factory=list)
+
+    @property
+    def removed(self) -> int:
+        return len(self.shrunk_fields)
+
+
+def shrink(
+    invariant: Invariant,
+    kwargs: dict,
+    message: str,
+    max_evals: int = MAX_EVALS,
+) -> ShrinkResult:
+    """Minimise ``kwargs`` while ``invariant`` still fails.
+
+    ``message`` is the original failure description; the returned
+    result carries the (possibly different) message produced by the
+    shrunk config, which is what the corpus stores and replays.
+    """
+    current = dict(kwargs)
+    current_message = message
+    evals = 0
+    shrunk: list[str] = []
+
+    def still_fails(candidate: dict) -> str | None:
+        """Failure message if ``candidate`` also violates the invariant."""
+        nonlocal evals
+        if evals >= max_evals:
+            return None
+        if config_validity_error(candidate) is not None:
+            return None
+        if not invariant.applies(candidate):
+            return None
+        evals += 1
+        try:
+            return invariant.check(dict(candidate))
+        except Exception as exc:  # a crashing probe is not a shrink
+            return f"invariant check crashed: {type(exc).__name__}: {exc}"
+
+    changed = True
+    while changed and evals < max_evals:
+        changed = False
+        fields_present = [f for f in _DROP_ORDER if f in current]
+        # Fields outside the known order (future axes) still get probed.
+        fields_present += sorted(set(current) - set(_DROP_ORDER))
+        for name in fields_present:
+            if evals >= max_evals:
+                break
+            candidates = []
+            if name not in _NO_DROP:
+                candidates.append({k: v for k, v in current.items() if k != name})
+            ladder = _SHRINK_LADDERS.get(name, ())
+            position = (
+                ladder.index(current[name])
+                if current.get(name) in ladder
+                else len(ladder)
+            )
+            for value in ladder[:position]:
+                candidates.append({**current, name: value})
+            for candidate in candidates:
+                failure = still_fails(candidate)
+                if failure is not None:
+                    if name not in shrunk:
+                        shrunk.append(name)
+                    current = candidate
+                    current_message = failure
+                    changed = True
+                    break  # greedy: take the first simplification
+
+    return ShrinkResult(
+        kwargs=current,
+        message=current_message,
+        evals=evals,
+        shrunk_fields=shrunk,
+    )

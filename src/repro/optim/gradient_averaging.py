@@ -27,7 +27,14 @@ class GradientAveragingSGD(DistributedAlgorithm):
         self.model = model
         self.lr = lr
         self._params = model.init_params(make_rng(seed))
-        self._batches = iter(())
+        # The batch cursor is explicit state (permutation + offset), not
+        # a live generator: snapshots deep-copy the algorithm for crash
+        # checkpoints and record/replay, and generators don't copy. The
+        # RNG call sequence is identical to iterating
+        # ``shard.epoch_batches()`` — one permutation per epoch, drawn
+        # when the epoch's first batch is taken.
+        self._order: np.ndarray | None = None
+        self._cursor = 0
 
     @property
     def epochs_per_round(self) -> float:
@@ -37,11 +44,13 @@ class GradientAveragingSGD(DistributedAlgorithm):
         return (float(self.shard.batch_size), 1.0)
 
     def _next_batch(self):
-        try:
-            return next(self._batches)
-        except StopIteration:
-            self._batches = self.shard.epoch_batches()
-            return next(self._batches)
+        shard = self.shard
+        if self._order is None or self._cursor >= shard.n_rows:
+            self._order = shard.rng.permutation(shard.n_rows)
+            self._cursor = 0
+        idx = self._order[self._cursor : self._cursor + shard.batch_size]
+        self._cursor += shard.batch_size
+        return shard.X[idx], shard.y[idx]
 
     def round_payload(self) -> np.ndarray:
         X_batch, y_batch = self._next_batch()

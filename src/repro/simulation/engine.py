@@ -50,7 +50,12 @@ import math
 import re
 from typing import Any, Callable, Generator, Iterable
 
-from repro.errors import DeadlockError, KeyNotFoundError, SimulationError
+from repro.errors import (
+    DeadlockError,
+    KeyNotFoundError,
+    SimulationError,
+    TransientStorageError,
+)
 from repro.simulation.clock import SimClock
 from repro.simulation.commands import (
     Collective,
@@ -330,10 +335,30 @@ class Engine:
             proc.trace.add("wait", start - issued)
         proc.trace.add(category, end - start)
 
+    def _throw_storage_failure(
+        self, proc: Process, category: str, issued: float, exc: TransientStorageError
+    ) -> None:
+        """Deliver a retry-exhausted storage op to its issuing worker.
+
+        The failed attempts already occupied the service and the event
+        counters (see ObjectStore._schedule_failed_attempts); here the
+        worker waits out that window and then sees the error thrown at
+        its yield point — the same injection seam KeyNotFoundError
+        uses — so a generator (or the fault injector behind it) can
+        recover instead of the whole simulation aborting.
+        """
+        failed_at = max(issued, exc.failed_at if exc.failed_at is not None else issued)
+        proc.trace.add(category, failed_at - issued)
+        self._resume_later(proc, failed_at, throw=exc)
+
     def _dispatch_put(self, proc: Process, cmd: Put) -> None:
         nbytes = payload_nbytes(cmd.value)
         issued = self.now
-        start, end = cmd.store.schedule_op("put", nbytes, issued)
+        try:
+            start, end = cmd.store.schedule_op("put", nbytes, issued)
+        except TransientStorageError as exc:
+            self._throw_storage_failure(proc, cmd.category, issued, exc)
+            return
         self._charge_op(proc, cmd.category, issued, start, end)
 
         def apply() -> None:
@@ -356,7 +381,11 @@ class Engine:
                 self._resume_later(proc, self.now, throw=exc)
                 return
             nbytes = payload_nbytes(value)
-            start, end = cmd.store.schedule_op("get", nbytes, issued)
+            try:
+                start, end = cmd.store.schedule_op("get", nbytes, issued)
+            except TransientStorageError as exc:
+                self._throw_storage_failure(proc, cmd.category, issued, exc)
+                return
             self._charge_op(proc, cmd.category, issued, start, end)
             self._resume_later(proc, max(end, self.now), value=value)
 

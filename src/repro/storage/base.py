@@ -111,7 +111,9 @@ class ObjectStore:
         # predecessor already consumed.
         self.fault_policy = None
         self.gc_enabled = True
-        self.fault_events = {"storage_errors": 0, "retries": 0, "backoff_s": 0.0}
+        self.fault_events = {
+            "storage_errors": 0, "retries": 0, "backoff_s": 0.0, "exhaustions": 0,
+        }
         self._op_index = 0
         self._objects: dict[str, Any] = {}
         # Incremental index: all stored keys in sorted order, plus live
@@ -184,15 +186,13 @@ class ObjectStore:
         if failures == 0:
             return None
         retry = policy.retry
-        if failures > retry.limit:
-            raise TransientStorageError(
-                f"{self.profile.name}: {op} failed {failures} time(s), "
-                f"exhausting the {retry.limit}-retry budget (op #{op_index})"
-            )
+        exhausted = failures > retry.limit
         events = self.fault_events
         events["storage_errors"] += failures
-        events["retries"] += failures
+        # The final attempt of an exhausted op is abandoned, not retried.
+        events["retries"] += failures if not exhausted else retry.limit
         first_start = None
+        last_end = arrival
         for attempt in range(failures):
             start, end = self.queue.schedule(arrival, self.profile.latency_s)
             if first_start is None:
@@ -203,9 +203,26 @@ class ObjectStore:
             # one minimum unit), matching the latency-only service
             # occupation above.
             self._bill(op, 0)
+            last_end = end
+            if exhausted and attempt == failures - 1:
+                break  # the op gives up here; no backoff after giving up
             backoff = retry.backoff_s(attempt)
             events["backoff_s"] += backoff
             arrival = end + backoff
+        if exhausted:
+            # Every failed attempt above was serviced, billed and
+            # counted *before* the raise, so an exhaustion that aborts
+            # (or recovers) a run still surfaces in the event summary.
+            events["exhaustions"] += 1
+            error = TransientStorageError(
+                f"{self.profile.name}: {op} failed {failures} time(s), "
+                f"exhausting the {retry.limit}-retry budget (op #{op_index})"
+            )
+            # When the op gives up (simulated completion of the last
+            # failed attempt) — the engine delivers the error to the
+            # issuing worker at this instant.
+            error.failed_at = last_end
+            raise error
         return first_start, arrival
 
     def record_polls(self, count: int) -> None:

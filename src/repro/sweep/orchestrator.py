@@ -13,6 +13,12 @@ Design constraints:
   by pool workers, so a sweep directory sees one writer and an
   interrupt (Ctrl-C, OOM-killed child, dead CI box) leaves only whole
   files.
+* **Worker death is a result, not a hang.** Each parallel task runs in
+  its own child process with a dedicated result pipe; a worker that is
+  OOM-killed or segfaults mid-task closes its pipe without a message,
+  and the orchestrator marks that point failed-with-reason (recorded in
+  :attr:`SweepRun.failed`) and keeps sweeping. Exceptions *raised* by a
+  task still propagate, exactly like the serial path.
 * **Resume is hash-addressed at both phases.** ``resume=True`` scans
   the sweep directory once and skips every point whose config hash
   already has a valid artifact; corrupt or partial files are treated
@@ -71,6 +77,10 @@ class SweepRun:
     ran: int = 0
     skipped: int = 0
     corrupt: list[str] = field(default_factory=list)
+    # Points whose worker process died mid-task (OOM kill, segfault...):
+    # dicts with index/label/config_hash/reason. Only ever non-empty for
+    # jobs > 1 — an inline run dying takes the orchestrator with it.
+    failed: list[dict] = field(default_factory=list)
     out_dir: str | None = None
     # Replay-sweep bookkeeping (all zero for substrate="exact").
     substrate: str = "exact"
@@ -114,6 +124,97 @@ def run_task(task: _Task) -> tuple[int, dict, dict | None]:
 def run_point(point: SweepPoint) -> dict:
     """Execute one sweep point exactly (kept for library/test callers)."""
     return run_task(_Task(0, point))[1]
+
+
+def _pool_child(fn, task, conn) -> None:
+    """Child-process entry point: run one task, ship result or error.
+
+    The pipe is the worker's whole contract with the parent: an ``ok``
+    message carries the result, an ``err`` message carries a raised
+    exception, and a pipe that closes with *no* message means the
+    process died (OOM killer, segfault) — which the parent turns into a
+    failed-with-reason task instead of a hung or aborted run.
+    """
+    try:
+        result = fn(task)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        try:
+            conn.send(("err", exc))
+        except Exception:
+            # Unpicklable exception: degrade to a type-preserving-ish
+            # RuntimeError so the parent still aborts loudly.
+            conn.send(("err", RuntimeError(f"{type(exc).__name__}: {exc}")))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", result))
+    conn.close()
+
+
+def _run_resilient_pool(tasks, width: int, on_result, on_dead, fn=None) -> None:
+    """Fan tasks over one-process-per-task workers; survive worker death.
+
+    ``multiprocessing.Pool.imap_unordered`` hangs forever when a worker
+    is SIGKILLed (the pool keeps waiting for a result that will never
+    arrive), so parallel sweeps use dedicated child processes with one
+    result pipe each: a pipe reaching EOF without a message *is* the
+    death notice, reported as ``on_dead(task, reason)``. Children are
+    non-daemonic, so a task may itself host a nested pool (a fuzz
+    campaign worker running a pooled sweep does). An ``err`` message
+    re-raises the child's exception here, after terminating the
+    remaining workers — the same abort the serial path produces.
+
+    ``fn`` must be a module-level callable (pickled by reference for
+    the spawn start method); the sweep uses :func:`run_task` (the
+    default, resolved at call time so tests can monkeypatch it), the
+    fuzz campaign its scenario checker.
+    """
+    from multiprocessing.connection import wait as connection_wait
+
+    if fn is None:
+        fn = run_task
+    ctx = _pool_context()
+    queue = list(tasks)
+    queue.reverse()  # pop() serves tasks in the original order
+    live: dict = {}  # receiving pipe end -> (task, process)
+
+    def launch() -> None:
+        task = queue.pop()
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_pool_child, args=(fn, task, send_conn))
+        proc.start()
+        send_conn.close()  # the child holds the only sending end now
+        live[recv_conn] = (task, proc)
+
+    while queue and len(live) < width:
+        launch()
+    error: BaseException | None = None
+    while live:
+        for conn in connection_wait(list(live)):
+            task, proc = live.pop(conn)
+            try:
+                message = conn.recv()
+            except EOFError:
+                message = None
+            finally:
+                conn.close()
+            proc.join()
+            if message is None:
+                on_dead(task, f"worker process died mid-task (exit code {proc.exitcode})")
+            elif message[0] == "ok":
+                on_result(message[1])
+            else:
+                error = message[1]
+            if error is None and queue:
+                launch()
+        if error is not None:
+            break
+    if error is not None:
+        for conn, (task, proc) in live.items():
+            proc.terminate()
+            proc.join()
+            conn.close()
+        raise error
 
 
 def _pool_context():
@@ -318,6 +419,17 @@ def run_sweep(
             f"({artifact['meta']['wall_seconds']:.1f}s wall, {task.mode})"
         )
 
+    def fail(task: _Task, reason: str) -> None:
+        run.failed.append(
+            {
+                "index": task.index,
+                "label": task.point.label,
+                "config_hash": hashes[task.index],
+                "reason": reason,
+            }
+        )
+        say(f"[{task.index + 1}/{len(points)}] {task.point.label}: FAILED ({reason})")
+
     def execute(tasks: list[_Task], on_trace=None) -> None:
         """Fan a batch of tasks over the pool (or inline); stream writes."""
         if not tasks:
@@ -339,24 +451,30 @@ def run_sweep(
                 if trace is not None and on_trace is not None:
                     on_trace(trace)
         else:
-            ctx = _pool_context()
-            with ctx.Pool(processes=width) as pool:
-                for index, artifact, trace in pool.imap_unordered(run_task, tasks):
-                    finish(by_index[index], artifact)
-                    if trace is not None and on_trace is not None:
-                        on_trace(trace)
+
+            def on_result(message: tuple) -> None:
+                index, artifact, trace = message
+                finish(by_index[index], artifact)
+                if trace is not None and on_trace is not None:
+                    on_trace(trace)
+
+            _run_resilient_pool(tasks, width, on_result, fail)
 
     if substrate == "exact":
         execute([_Task(index, point) for index, point, _ in pending])
     else:
-        _run_two_phase(run, pending, substrate, out_dir, traces_dir, resume, say, execute)
+        _run_two_phase(
+            run, pending, substrate, out_dir, traces_dir, resume, say, execute, fail
+        )
 
-    run.artifacts = [by_hash[h] for h in hashes]
+    # Failed points (dead workers) have no artifact; everything else is
+    # returned in point order, exactly as before.
+    run.artifacts = [by_hash[h] for h in hashes if h in by_hash]
     return run
 
 
 def _run_two_phase(
-    run: SweepRun, pending, substrate, out_dir, traces_dir, resume, say, execute
+    run: SweepRun, pending, substrate, out_dir, traces_dir, resume, say, execute, fail
 ) -> None:
     """Group by stat fingerprint; record once per group, replay the rest."""
     traces_dir = _resolve_traces_dir(out_dir, traces_dir)
@@ -427,11 +545,22 @@ def _run_two_phase(
     replay_tasks = [
         _Task(task.index, task.point, mode="replay", trace=traces[stat_hash])
         for task, stat_hash in replay_ready
-    ] + [
-        _Task(task.index, task.point, mode="replay", trace=traces[stat_hash])
-        for stat_hash, tasks in replay_blocked.items()
-        for task in tasks
     ]
+    for stat_hash, tasks in replay_blocked.items():
+        if stat_hash not in traces:
+            # The phase-0 recording for this fingerprint died (its
+            # worker was killed): its replays have no trace to run on.
+            for task in tasks:
+                fail(
+                    task,
+                    f"recording for statistical fingerprint {stat_hash[:12]} "
+                    "failed; nothing to replay",
+                )
+            continue
+        replay_tasks.extend(
+            _Task(task.index, task.point, mode="replay", trace=traces[stat_hash])
+            for task in tasks
+        )
     replay_tasks.sort(key=lambda task: task.index)
     say(f"phase 1: replaying {len(replay_tasks)} point(s) from recorded traces")
     execute(replay_tasks)

@@ -375,3 +375,92 @@ class TestStragglerInjection:
         assert slowest.get("compute") > fastest.get("compute")
         # The fast worker pays for the slow one in waiting time.
         assert fastest.get("wait") + fastest.get("merge") > 0
+
+
+class TestCheckpointInterval:
+    """``checkpoint_interval`` trades checkpoint overhead for recovery
+    re-execution — a pure systems knob, invisible to statistics."""
+
+    def test_interval_must_be_positive(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="checkpoint_interval"):
+            TrainingConfig(checkpoint_interval=0, **FAST_BASE)
+
+    def test_sparser_checkpoints_same_statistics(self):
+        every = train(
+            TrainingConfig(system="lambdaml", channel="s3", mttf_s=60.0, **FAST_BASE)
+        )
+        sparse = train(
+            TrainingConfig(
+                system="lambdaml", channel="s3", mttf_s=60.0,
+                checkpoint_interval=4, **FAST_BASE,
+            )
+        )
+        clean = train(TrainingConfig(system="lambdaml", channel="s3", **FAST_BASE))
+        # Fewer recovery checkpoints taken; identical statistical story.
+        assert 0 < sparse.events["recovery_checkpoints"] < every.events["recovery_checkpoints"]
+        assert loss_trajectory(sparse) == loss_trajectory(every) == loss_trajectory(clean)
+        # Sparser checkpoints expose longer re-execution windows, so the
+        # clock (and the crash count along it) can only grow.
+        assert sparse.duration_s > every.duration_s > clean.duration_s
+
+    def test_interval_is_not_a_statistical_axis(self):
+        from repro.core.config import STAT_FIELDS
+
+        assert "checkpoint_interval" not in STAT_FIELDS
+        a = TrainingConfig(
+            system="lambdaml", channel="s3", mttf_s=60.0, **FAST_BASE
+        )
+        b = TrainingConfig(
+            system="lambdaml", channel="s3", mttf_s=60.0,
+            checkpoint_interval=4, **FAST_BASE,
+        )
+        assert a.stat_hash() == b.stat_hash()
+
+
+class TestStorageExhaustionRecovery:
+    """A worker that dies of retry exhaustion is re-invoked from its
+    last checkpoint, exactly like a crash — the trajectory never moves."""
+
+    def test_exhaustion_recovers_bit_identically(self):
+        exhausted = train(
+            TrainingConfig(
+                system="lambdaml", channel="s3", mttf_s=60.0,
+                storage_error_rate=0.4, storage_retry_limit=1, **FAST_BASE,
+            )
+        )
+        clean = train(TrainingConfig(system="lambdaml", channel="s3", **FAST_BASE))
+        events = exhausted.events
+        assert events["storage_exhaustions"] > 0
+        # Every exhaustion (and every crash) spawned a successor.
+        assert events["reincarnations"] > events["crashes"]
+        assert loss_trajectory(exhausted) == loss_trajectory(clean)
+        assert exhausted.duration_s > clean.duration_s
+        assert exhausted.cost_total > clean.cost_total
+
+    def test_exhaustion_without_crash_machinery_is_fatal(self):
+        from repro.errors import TransientStorageError
+
+        # No mttf_s: no recovery machinery is installed, so blowing the
+        # retry budget fails the job instead of silently retrying forever.
+        with pytest.raises(TransientStorageError, match="exhausting"):
+            train(
+                TrainingConfig(
+                    system="lambdaml", channel="s3",
+                    storage_error_rate=0.4, storage_retry_limit=1, **FAST_BASE,
+                )
+            )
+
+    def test_exhaustion_counts_surface_in_sweep_artifacts(self, tmp_path):
+        point = SweepPoint(
+            experiment="chaos", label="exhaustion",
+            config_kwargs=dict(
+                system="lambdaml", channel="s3", mttf_s=60.0,
+                storage_error_rate=0.4, storage_retry_limit=1, **FAST_BASE,
+            ),
+        )
+        run = run_sweep([point], out_dir=tmp_path)
+        events = run.artifacts[0]["result"]["events"]
+        assert events["storage_exhaustions"] > 0
+        assert events["reincarnations"] > 0

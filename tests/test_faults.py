@@ -181,7 +181,12 @@ class TestStorageRetryLayer:
     def test_fault_free_store_is_untouched(self):
         clean = S3Store()
         start, end = clean.schedule_op("put", 1000, 0.0)
-        assert clean.fault_events == {"storage_errors": 0, "retries": 0, "backoff_s": 0.0}
+        assert clean.fault_events == {
+            "storage_errors": 0,
+            "retries": 0,
+            "backoff_s": 0.0,
+            "exhaustions": 0,
+        }
         assert end - start == pytest.approx(clean.op_duration("put", 1000))
 
     def test_failed_attempts_stretch_the_operation_and_count_events(self):

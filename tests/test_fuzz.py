@@ -1,0 +1,306 @@
+"""Scenario fuzzer: space determinism, shrinking, corpus, bug detection.
+
+The chaos suite's own contract is tested at three levels: the sampler
+(content-addressed, valid, byte-stable), the machinery (shrinker and
+corpus with synthetic invariants — no trainings), and the whole loop
+(a deliberately broken aggregation fold must be *caught* by a campaign
+and *shrunk* to a minimal repro; restoring the fold turns it green).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+import repro.comm.patterns as patterns
+from repro.comm.aggregator import reduce_vectors as true_reduce_vectors
+from repro.core.config import config_validity_error
+from repro.errors import FuzzError
+from repro.fuzz import (
+    INVARIANTS,
+    CorpusEntry,
+    Invariant,
+    ScenarioSpace,
+    load_corpus,
+    load_entry,
+    plan_campaign,
+    replay_entry,
+    run_campaign,
+    save_entry,
+    shrink,
+    sibling_kwargs,
+)
+from repro.fuzz.shrink import MAX_EVALS
+
+
+class TestScenarioSpace:
+    def test_sampling_is_byte_identical_across_instances(self):
+        first = ScenarioSpace(0).scenarios(50)
+        second = ScenarioSpace(0).scenarios(50)
+        assert [s.config_kwargs for s in first] == [s.config_kwargs for s in second]
+
+    def test_every_scenario_is_a_valid_config(self):
+        for scenario in ScenarioSpace(3).scenarios(100):
+            assert config_validity_error(scenario.config_kwargs) is None
+
+    def test_scenario_id_alone_reproduces_the_kwargs(self):
+        scenario = ScenarioSpace(0).scenario(17)
+        again = ScenarioSpace.from_id(scenario.scenario_id)
+        assert again.config_kwargs == scenario.config_kwargs
+        assert again.scenario_id == "0:17"
+
+    def test_different_seeds_sample_different_scenarios(self):
+        a = [s.config_kwargs for s in ScenarioSpace(0).scenarios(20)]
+        b = [s.config_kwargs for s in ScenarioSpace(1).scenarios(20)]
+        assert a != b
+
+    def test_bad_scenario_id_is_rejected(self):
+        with pytest.raises(FuzzError, match="expected 'seed:index'"):
+            ScenarioSpace.from_id("not-an-id")
+
+    def test_space_covers_the_major_axes(self):
+        """The conditioned sampler must not silently starve an axis."""
+        scenarios = ScenarioSpace(0).scenarios(200)
+        kwargs = [s.config_kwargs for s in scenarios]
+        systems = {k["system"] for k in kwargs}
+        assert systems >= {"lambdaml", "pytorch", "hybridps"}
+        assert {k["algorithm"] for k in kwargs} >= {"ma_sgd", "ga_sgd", "admm", "em"}
+        assert any(k.get("protocol") == "asp" for k in kwargs)
+        assert any("mttf_s" in k for k in kwargs)
+        assert any("storage_error_rate" in k for k in kwargs)
+        assert any(k.get("checkpoint_interval", 1) > 1 for k in kwargs)
+
+
+class TestCampaignPlan:
+    def test_plan_is_deterministic_and_gates_every_scenario(self):
+        plan = plan_campaign(seed=0, budget=30)
+        again = plan_campaign(seed=0, budget=30)
+        assert plan == again
+        # `completes` has probability 1.0: every scenario runs it.
+        assert all("completes" in task.invariants for task in plan)
+        # The gated invariants must each land on *some* scenario.
+        gated = {name for task in plan for name in task.invariants}
+        assert {"determinism_under_rerun", "stat_sibling_invariance"} <= gated
+
+    def test_sibling_prefers_the_platform_flip(self):
+        sibling = sibling_kwargs(
+            {"model": "lr", "dataset": "higgs", "system": "lambdaml", "workers": 4}
+        )
+        assert sibling["system"] == "pytorch"
+
+    def test_platform_flip_drops_faas_axes_and_fault_plane(self):
+        sibling = sibling_kwargs(
+            {
+                "model": "lr",
+                "dataset": "higgs",
+                "system": "lambdaml",
+                "workers": 4,
+                "channel": "redis",
+                "pattern": "scatterreduce",
+                "mttf_s": 90.0,
+                "checkpoint_interval": 2,
+            }
+        )
+        assert sibling["system"] == "pytorch"
+        for gone in ("channel", "pattern", "mttf_s", "checkpoint_interval"):
+            assert gone not in sibling
+
+
+# A synthetic invariant lets the shrinker be tested without trainings:
+# it "fails" iff workers >= 3 and a channel is set.
+def _needs_three_workers_and_channel(kwargs):
+    if kwargs.get("workers", 10) >= 3 and "channel" in kwargs:
+        return "synthetic failure"
+    return None
+
+
+_SYNTHETIC = Invariant(
+    name="synthetic",
+    description="test-only",
+    probability=1.0,
+    applies=lambda kwargs: True,
+    check=_needs_three_workers_and_channel,
+)
+
+
+class TestShrink:
+    def test_shrinker_drops_irrelevant_fields_and_minimises_ladders(self):
+        bloated = {
+            "model": "lr",
+            "dataset": "higgs",
+            "system": "lambdaml",
+            "workers": 8,
+            "channel": "redis",
+            "pattern": "scatterreduce",
+            "straggler_jitter": 0.2,
+            "mttf_s": 90.0,
+            "data_scale": 200,
+            "max_epochs": 2,
+            "seed": 20210620,
+        }
+        result = shrink(_SYNTHETIC, bloated, "synthetic failure")
+        assert result.message == "synthetic failure"
+        # Every field the failure does not need is gone...
+        for gone in ("pattern", "straggler_jitter", "mttf_s", "seed"):
+            assert gone not in result.kwargs
+        # ...the load-bearing ones survive, minimised along the ladder
+        # (workers=2 passes the predicate, so 3 is the true floor).
+        assert result.kwargs["workers"] == 3
+        assert "channel" in result.kwargs
+        assert result.evals <= MAX_EVALS
+
+    def test_shrinker_never_probes_invalid_configs(self):
+        probed = []
+
+        def recording_check(kwargs):
+            probed.append(dict(kwargs))
+            return "still failing"
+
+        inv = Invariant(
+            name="recorder", description="", probability=1.0,
+            applies=lambda kwargs: True, check=recording_check,
+        )
+        start = {"model": "kmeans", "dataset": "higgs", "algorithm": "em",
+                 "k": 5, "workers": 4, "data_scale": 500, "max_epochs": 1}
+        shrink(inv, start, "still failing")
+        for kwargs in probed:
+            assert config_validity_error(kwargs) is None
+
+
+class TestCorpus:
+    def test_save_load_roundtrip(self, tmp_path):
+        entry = CorpusEntry(
+            invariant="completes",
+            config_kwargs={"model": "lr", "dataset": "higgs", "workers": 2,
+                           "data_scale": 500, "max_epochs": 1},
+            scenario_id="0:5",
+            message="it broke",
+            shrunk_fields=["channel"],
+        )
+        path = save_entry(tmp_path, entry)
+        assert path.name == "completes-0-5.json"
+        assert load_entry(path) == entry
+        assert load_corpus(tmp_path) == [entry]
+
+    def test_unknown_invariant_is_rejected_at_replay(self):
+        entry = CorpusEntry(
+            invariant="no_such_property", config_kwargs={}, scenario_id="0:0",
+            message="",
+        )
+        with pytest.raises(FuzzError, match="unknown invariant"):
+            replay_entry(entry)
+
+    def test_wrong_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "invariant": "completes"}))
+        with pytest.raises(FuzzError, match="schema"):
+            load_entry(path)
+
+    def test_missing_corpus_dir_is_empty_not_an_error(self, tmp_path):
+        assert load_corpus(tmp_path / "nowhere") == []
+
+
+def _reversed_fold(vectors, reduce):
+    return true_reduce_vectors(list(reversed(vectors)), reduce)
+
+
+from repro.fuzz.runner import _check_task as _real_check_task
+
+
+def _suicidal_check_task(task):
+    """Pool-side stand-in that dies hard on one scenario (fork-inherited)."""
+    if task.index == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _real_check_task(task)
+
+
+class TestCampaignResilience:
+    @pytest.mark.slow
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="the suicidal stand-in reaches pool children via fork",
+    )
+    def test_dead_fuzz_worker_is_a_finding_not_a_hang(self, monkeypatch):
+        import repro.fuzz.runner as runner
+
+        monkeypatch.setattr(runner, "_check_task", _suicidal_check_task)
+        result = run_campaign(
+            budget=3, seed=0, workers=2, corpus_dir=None, shrink_failures=False,
+        )
+        # The campaign finished; the OOM-killed scenario is one finding.
+        assert result.scenarios == 3
+        deaths = [f for f in result.findings if f.invariant == "process_survives"]
+        assert len(deaths) == 1
+        assert deaths[0].scenario_id == "0:1"
+        assert "died" in deaths[0].message
+        # Death findings have no in-process check to shrink against.
+        assert deaths[0].shrunk_kwargs is None
+        # The other scenarios were still checked.
+        others = {f.scenario_id for f in result.findings} - {"0:1"}
+        assert result.checks["completes"] == 3
+        assert not others  # healthy engine: nothing else failed
+
+
+class TestChaosCatchesRealBugs:
+    """Break the engine on purpose; the suite must notice and minimise."""
+
+    # The canonical-rank-order fold guarantee, violated only on the
+    # FaaS side (iaas/mpi.py binds reduce_vectors separately), caught
+    # by the platform-flip sibling check. This is the shrunk repro the
+    # shrinker itself produces from campaign counterexamples.
+    MINIMAL_BROKEN = {
+        "model": "kmeans", "dataset": "higgs", "algorithm": "em",
+        "workers": 3, "data_scale": 500, "max_epochs": 1, "seed": 3,
+    }
+
+    def test_reversed_fold_is_caught_and_shrunk(self, monkeypatch):
+        inv = INVARIANTS["stat_sibling_invariance"]
+        bloated = {
+            **self.MINIMAL_BROKEN,
+            "k": 10, "workers": 4, "batch_size": 4096,
+            "straggler_jitter": 0.05, "seed": 11, "system": "pytorch",
+        }
+        assert inv.check(dict(bloated)) is None  # healthy engine: holds
+
+        monkeypatch.setattr(patterns, "reduce_vectors", _reversed_fold)
+        message = inv.check(dict(bloated))
+        assert message is not None and "loss trajectory" in message
+
+        result = shrink(inv, bloated, message)
+        # A reversed fold over two contributions is commutatively
+        # identical, so the true minimal worker count is three.
+        assert result.kwargs["workers"] == 3
+        assert len(result.kwargs) < len(bloated)
+
+    def test_minimal_repro_is_green_on_the_healthy_engine(self):
+        inv = INVARIANTS["stat_sibling_invariance"]
+        assert inv.check(dict(self.MINIMAL_BROKEN)) is None
+
+    @pytest.mark.slow
+    def test_campaign_catches_the_reversed_fold_within_budget(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(patterns, "reduce_vectors", _reversed_fold)
+        # workers=1: the monkeypatch only exists in this process. The
+        # eval cap keeps the two shrinks inside the per-test timeout;
+        # minimality is asserted by the dedicated shrinker tests.
+        result = run_campaign(
+            budget=4, seed=0, workers=1, corpus_dir=tmp_path,
+            shrink_failures=True, shrink_max_evals=12,
+        )
+        assert not result.ok
+        finding = result.findings[0]
+        assert finding.invariant == "stat_sibling_invariance"
+        assert finding.shrunk_kwargs is not None
+        assert len(finding.shrunk_kwargs) <= len(finding.config_kwargs)
+        assert finding.corpus_path is not None
+        # The saved counterexample replays red while the bug exists...
+        entry = load_entry(finding.corpus_path)
+        assert replay_entry(entry) is not None
+        # ...and green once the fold is restored.
+        monkeypatch.setattr(patterns, "reduce_vectors", true_reduce_vectors)
+        assert replay_entry(entry) is None

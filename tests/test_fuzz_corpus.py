@@ -1,0 +1,33 @@
+"""Replay the fuzz regression corpus: every entry, every run, forever.
+
+Each file under ``tests/data/fuzz_corpus/`` is a shrunk counterexample
+a fuzz campaign once found (or a hand-pinned guard with the same
+shape). Replaying an entry re-runs its invariant on its stored config
+kwargs and expects it to hold — a red entry here means a bug the
+fuzzer already caught has come back. New campaign findings land in the
+same directory (``repro fuzz`` saves there by default), so this test
+grows with the corpus without changing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import DEFAULT_CORPUS_DIR, load_corpus, replay_entry
+
+ENTRIES = load_corpus(DEFAULT_CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    """The tree ships seed entries; an empty corpus means a broken path."""
+    assert ENTRIES, f"no corpus entries found under {DEFAULT_CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda entry: entry.name)
+def test_corpus_entry_replays_green(entry):
+    verdict = replay_entry(entry)
+    assert verdict is None, (
+        f"corpus entry {entry.name} is red again: {verdict}\n"
+        f"original context: {entry.message}\n"
+        f"repro kwargs: {entry.config_kwargs}"
+    )

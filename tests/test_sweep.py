@@ -17,6 +17,9 @@ All training here runs the registry's ``smoke`` grid (LR/Higgs at
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
+import signal
 
 import pytest
 
@@ -268,6 +271,112 @@ class TestOrchestrator:
         run = run_sweep(SMOKE_POINTS()[:1])
         assert run.out_dir is None and run.ran == 1
         assert list(tmp_path.iterdir()) == []
+
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="self-killing worker patch requires the fork start method",
+)
+
+
+class TestResilientPool:
+    """A pooled sweep survives worker-process death (ISSUE 6, satellite)."""
+
+    @needs_fork
+    def test_dead_worker_marks_point_failed_and_sweep_continues(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.sweep.orchestrator as orchestrator
+
+        points = SMOKE_POINTS()
+        victim = points[1].label
+        real_run_task = orchestrator.run_task
+
+        def killer_run_task(task):
+            if task.point.label == victim:
+                os.kill(os.getpid(), signal.SIGKILL)  # simulated OOM kill
+            return real_run_task(task)
+
+        monkeypatch.setattr(orchestrator, "run_task", killer_run_task)
+        run = run_sweep(points, out_dir=tmp_path, jobs=2)
+
+        assert [f["label"] for f in run.failed] == [victim]
+        reason = run.failed[0]["reason"]
+        assert "died" in reason and "exit code" in reason
+        assert run.failed[0]["config_hash"] == config_hash(points[1].config())
+        # Every other point completed and was persisted.
+        assert [a["label"] for a in run.artifacts] == [
+            p.label for p in points if p.label != victim
+        ]
+        assert len(list(tmp_path.glob("*.json"))) == len(points) - 1
+
+        # With the killer gone, resume re-runs exactly the dead point.
+        monkeypatch.setattr(orchestrator, "run_task", real_run_task)
+        resumed = run_sweep(points, out_dir=tmp_path, jobs=2, resume=True)
+        assert resumed.failed == []
+        assert resumed.ran == 1 and resumed.skipped == len(points) - 1
+        assert [a["label"] for a in resumed.artifacts] == [p.label for p in points]
+
+    @needs_fork
+    def test_dead_recording_fails_its_replays_not_the_sweep(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.sweep.orchestrator as orchestrator
+
+        # Two stat groups (seed is a statistical axis), so phase 0 has
+        # two recordings and actually runs pooled; the smoke grid alone
+        # is a single fingerprint, whose lone recording would run
+        # inline — and an inline SIGKILL takes pytest with it.
+        points = SMOKE_POINTS()
+        points += [
+            SweepPoint(
+                experiment=p.experiment,
+                label=f"{p.label},seed=7",
+                config_kwargs={**p.config_kwargs, "seed": 7},
+                tags=p.tags,
+            )
+            for p in points
+        ]
+        # Kill the phase-0 recording of the seed=7 stat group: all its
+        # replay siblings must be marked failed, other groups finish.
+        configs = [p.config() for p in points]
+        doomed_stat = configs[-1].stat_hash()
+        doomed = {
+            p.label for p, c in zip(points, configs)
+            if c.stat_hash() == doomed_stat and not c.timing_coupled
+        }
+        assert 0 < len(doomed) < len(points)
+        real_run_task = orchestrator.run_task
+
+        def killer_run_task(task):
+            if task.mode == "record" and task.point.label in doomed:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real_run_task(task)
+
+        monkeypatch.setattr(orchestrator, "run_task", killer_run_task)
+        run = run_sweep(points, out_dir=tmp_path, jobs=2, substrate="auto")
+        assert {f["label"] for f in run.failed} == doomed
+        assert sum("nothing to replay" in f["reason"] for f in run.failed) == len(doomed) - 1
+        assert [a["label"] for a in run.artifacts] == [
+            p.label for p in points if p.label not in doomed
+        ]
+
+    @needs_fork
+    def test_worker_exception_still_aborts_the_pool(self, tmp_path, monkeypatch):
+        import repro.sweep.orchestrator as orchestrator
+
+        points = SMOKE_POINTS()
+        victim = points[2].label
+        real_run_task = orchestrator.run_task
+
+        def raising_run_task(task):
+            if task.point.label == victim:
+                raise ValueError("deliberate task failure")
+            return real_run_task(task)
+
+        monkeypatch.setattr(orchestrator, "run_task", raising_run_task)
+        with pytest.raises(ValueError, match="deliberate task failure"):
+            run_sweep(points, out_dir=tmp_path, jobs=2)
 
 
 class TestSweepCli:
