@@ -1,0 +1,97 @@
+"""Service scheduler acceptance run: the figS panel, benched.
+
+Runs the figS study end to end — the two tenant job classes go through
+the sweep orchestrator for isolated baselines + replay traces, then the
+same 12-job Poisson workload is simulated under every registered
+scheduler on one shared engine — and records the resulting scorecards
+into the ``service`` section of ``BENCH_sweep.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service_schedulers.py [--dry]
+
+``--dry`` prints the record without touching BENCH_sweep.json.
+``benchmarks/check_regression.py`` shape-validates the committed
+section and asserts the headline fifo-vs-adaptive cost/tail trade-off
+still holds in the recorded numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+# Pin BLAS to one thread *before* numpy loads (same rationale as
+# repro.cli): the service report is content-addressed and byte-stable,
+# so the baseline trainings must be bit-deterministic.
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__ as repro_version
+from repro.experiments.fig_service import (
+    format_report,
+    simulate_schedulers,
+    sweep_points,
+)
+from repro.sweep.artifacts import scan_artifacts
+from repro.sweep.orchestrator import run_sweep
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def measure() -> dict:
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "figS"
+        run_sweep(
+            sweep_points(),
+            out_dir=out,
+            jobs=2,
+            resume=True,
+            substrate="auto",
+            traces_dir=Path(tmp) / "traces",
+        )
+        artifacts, _ = scan_artifacts(out)
+        result = simulate_schedulers(list(artifacts.values()))
+    wall = time.perf_counter() - t0
+
+    print(format_report(result))
+    return {
+        "note": (
+            "figS multi-tenant service panel: 12 seeded Poisson arrivals "
+            "cycling two comm-bound lr/rcv1 job classes onto one shared "
+            "redis node, replayed under every registered scheduler. "
+            "Slowdowns are measured against each job's isolated run; the "
+            "fifo-vs-adaptive pair records the cost-vs-tail-latency "
+            "trade-off check_regression.py gates on."
+        ),
+        "command": "PYTHONPATH=src python benchmarks/bench_service_schedulers.py",
+        "panel_wall_seconds": round(wall, 3),
+        **result,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dry", action="store_true",
+                        help="print the record; do not update BENCH_sweep.json")
+    args = parser.parse_args(argv)
+
+    record = measure()
+    print(json.dumps(record, indent=1))
+    if args.dry:
+        return 0
+    baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+    baseline["service"] = record
+    baseline["engine_version"] = repro_version
+    BASELINE.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n")
+    print(f"updated {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

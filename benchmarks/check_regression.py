@@ -22,7 +22,9 @@ acceptance record): both the original per-point schema and the
 and carry their required keys, so a malformed benchmark commit fails
 CI instead of silently rotting. No sweep is re-run here — full-scale
 sweep points cost minutes each; regenerate with
-``benchmarks/bench_substrate_replay.py`` when the numbers change.
+``benchmarks/bench_substrate_replay.py`` (or, for the ``service``
+section, ``benchmarks/bench_service_schedulers.py``) when the numbers
+change.
 
 Run locally::
 
@@ -64,6 +66,13 @@ _RELIABILITY_ROW_KEYS = {"crash_rate_per_hour", "storage_error_rate",
 _RELIABILITY_SERIES = {"faas-crash", "iaas-crash", "faas-storage", "faas-interval"}
 _SWEEP_FUZZ_KEYS = {"seed", "budget", "scenarios", "checks_per_invariant",
                     "checks_total", "campaign_wall_seconds"}
+_SWEEP_SERVICE_KEYS = {"tenants", "rate_per_hour", "seed", "max_concurrent",
+                       "schedulers"}
+_SERVICE_METRIC_KEYS = {"jobs", "p50_completion_s", "p99_completion_s",
+                        "mean_completion_s", "mean_queue_s", "total_cost",
+                        "cost_per_job", "mean_slowdown", "max_slowdown",
+                        "makespan_s", "converged_jobs"}
+_SERVICE_SCHEDULERS = {"fifo", "fair_share", "cost_aware", "adaptive"}
 
 
 def check_sweep_baseline(path: Path) -> list[str]:
@@ -105,6 +114,68 @@ def check_sweep_baseline(path: Path) -> list[str]:
             )
     problems.extend(_check_reliability_section(path, baseline.get("reliability")))
     problems.extend(_check_fuzz_section(path, baseline.get("fuzz_campaign")))
+    problems.extend(_check_service_section(path, baseline.get("service")))
+    return problems
+
+
+def _check_service_section(path: Path, service) -> list[str]:
+    """Shape-validate the figS multi-tenant service scheduler record."""
+    if service is None:  # optional until the service bench has run
+        return []
+    if not isinstance(service, dict):
+        return [f"{path.name}: 'service' must be an object"]
+    missing = _SWEEP_SERVICE_KEYS - service.keys()
+    if missing:
+        return [f"{path.name}: 'service' section missing {sorted(missing)}"]
+    problems = []
+    schedulers = service["schedulers"]
+    if not isinstance(schedulers, dict) or len(schedulers) < 2:
+        return [f"{path.name}: 'service' needs >= 2 scheduler scorecards"]
+    unknown = schedulers.keys() - _SERVICE_SCHEDULERS
+    if unknown:
+        problems.append(f"{path.name}: unknown service schedulers {sorted(unknown)}")
+    for name, metrics in schedulers.items():
+        if not isinstance(metrics, dict):
+            problems.append(f"{path.name}: service scheduler {name} is not an object")
+            continue
+        missing = _SERVICE_METRIC_KEYS - metrics.keys()
+        if missing:
+            problems.append(
+                f"{path.name}: service scheduler {name} missing {sorted(missing)}"
+            )
+            continue
+        if metrics["jobs"] != service["tenants"]:
+            problems.append(
+                f"{path.name}: service scheduler {name} served "
+                f"{metrics['jobs']} of {service['tenants']} jobs"
+            )
+        if metrics["p50_completion_s"] > metrics["p99_completion_s"]:
+            problems.append(
+                f"{path.name}: service scheduler {name} has p50 > p99"
+            )
+        if metrics["mean_slowdown"] < 1.0 or metrics["cost_per_job"] <= 0:
+            problems.append(
+                f"{path.name}: service scheduler {name} records an impossible "
+                f"scorecard (mean_slowdown {metrics['mean_slowdown']}, "
+                f"$/job {metrics['cost_per_job']}) — contention cannot speed "
+                "jobs up and simulated jobs are never free"
+            )
+    # The headline finding figS exists to report: adaptive worker
+    # scaling must actually trade tail latency for $/job vs fifo. The
+    # record is deterministic (seeded arrivals), so this inequality is
+    # a property of the committed numbers, not of the CI machine.
+    fifo, adaptive = schedulers.get("fifo"), schedulers.get("adaptive")
+    if isinstance(fifo, dict) and isinstance(adaptive, dict) \
+            and not (_SERVICE_METRIC_KEYS - fifo.keys()) \
+            and not (_SERVICE_METRIC_KEYS - adaptive.keys()):
+        if not (adaptive["cost_per_job"] < fifo["cost_per_job"]
+                and adaptive["p99_completion_s"] > fifo["p99_completion_s"]):
+            problems.append(
+                f"{path.name}: the recorded fifo/adaptive pair shows no "
+                f"cost-vs-tail trade-off ($/job {fifo['cost_per_job']} -> "
+                f"{adaptive['cost_per_job']}, p99 {fifo['p99_completion_s']} "
+                f"-> {adaptive['p99_completion_s']})"
+            )
     return problems
 
 

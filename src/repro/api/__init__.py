@@ -25,6 +25,18 @@ Three layers, smallest first:
       })
       print(verdict.report())
 
+* **A service.** :class:`Service` runs a whole multi-tenant workload —
+  seeded Poisson or trace-driven arrivals, pluggable schedulers — on one
+  shared engine with shared storage capacity, and reports p50/p99
+  completion, $/job and contention slowdown per tenant. Shaped exactly
+  like ``Session``: content-addressed, resume-by-default::
+
+      from repro.api import Service, ServiceConfig
+
+      svc = Service("results", arrivals=ServiceConfig(rate=6.0, tenants=12),
+                    scheduler="fair_share")
+      print(svc.run().report())
+
 * **A new study.** Declare ``points(ctx)`` / ``aggregate`` /
   ``format_report`` on a class, decorate it with :func:`study`, and the
   name becomes available to ``Session.sweep`` and ``repro.cli sweep``
@@ -41,7 +53,9 @@ from repro.analytics.casestudy import HybridModel
 from repro.analytics.estimator import SamplingEstimator
 from repro.analytics.model import AnalyticalModel, WorkloadParams
 from repro.api.scenario import Scenario
+from repro.api.service import Service, ServiceOutcome
 from repro.api.session import Comparison, Session, StudyOutcome
+from repro.service.config import ServiceConfig
 from repro.core.config import TrainingConfig
 from repro.core.results import RunResult
 from repro.experiments.workloads import WORKLOADS, Workload, get_workload
@@ -62,6 +76,9 @@ __all__ = [
     "RunResult",
     "SamplingEstimator",
     "Scenario",
+    "Service",
+    "ServiceConfig",
+    "ServiceOutcome",
     "Session",
     "Study",
     "StudyContext",

@@ -80,6 +80,21 @@ class Scenario:
         """A copy carrying a display label (and report-grouping tags)."""
         return Scenario(self.kwargs, label=label, tags={**self.tags, **tags})
 
+    def tenant(self, name: str, priority: float = 0.0) -> Scenario:
+        """A copy carrying multi-tenant service identity.
+
+        Tenant name and priority travel in ``tags`` — presentation and
+        scheduling metadata that stays *outside* the config fingerprint
+        (two tenants submitting the same workload share one artifact) —
+        so ``Service.submit`` and ``Session.run`` accept the same
+        builder instead of a parallel config type.
+        """
+        return Scenario(
+            self.kwargs,
+            label=self.label,
+            tags={**self.tags, "tenant": name, "priority": str(priority)},
+        )
+
     def grid(self, **axes) -> list[Scenario]:
         """The cross-product of ``axes`` over this scenario.
 

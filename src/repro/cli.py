@@ -9,6 +9,8 @@ Usage (installed as a module)::
         --algorithm ma_sgd --lr 0.05 --threshold 0.66
     python -m repro.cli sweep --list
     python -m repro.cli sweep --experiment fig11 --jobs 4 --resume
+    python -m repro.cli serve --arrivals poisson --rate 6 --tenants 12 \
+        --scheduler fair_share --seed 0
 
 `train` prints a RunResult summary plus breakdowns — its flags are
 derived mechanically from the ``TrainingConfig`` dataclass fields, so
@@ -16,7 +18,9 @@ the CLI can never drift from the config; `workloads` lists the tuned
 Table-4 workloads; `estimate` runs the sampling-based
 epochs-to-convergence estimator; `sweep` runs any registered study
 (``--list`` prints the catalog) over a process pool, writing one
-resumable JSON artifact per point.
+resumable JSON artifact per point; `serve` runs a multi-tenant training
+service workload — its flags are derived from ``ServiceConfig`` the
+same way train's are from ``TrainingConfig``.
 """
 
 from __future__ import annotations
@@ -52,20 +56,23 @@ def _field_type(f: dataclasses.Field) -> type:
     return _FLAG_TYPES[str(f.type).split("|")[0].strip()]
 
 
-def _config_fields() -> list[dataclasses.Field]:
-    return [f for f in dataclasses.fields(TrainingConfig) if f.init]
+def _config_fields(cls: type = TrainingConfig) -> list[dataclasses.Field]:
+    return [f for f in dataclasses.fields(cls) if f.init]
 
 
-def add_config_flags(parser: argparse.ArgumentParser) -> None:
-    """Derive one ``--flag`` per ``TrainingConfig`` init field.
+def add_config_flags(
+    parser: argparse.ArgumentParser, cls: type = TrainingConfig
+) -> None:
+    """Derive one ``--flag`` per init field of a ``_cli``-annotated config.
 
     Name, type and default come from the dataclass; help text and
     choices from the field's metadata (see ``_cli`` in
     repro.core.config). Config and CLI therefore cannot drift: a new
-    config field IS a new train flag, and the parity test in
-    tests/test_cli.py pins the bijection.
+    config field IS a new flag — ``train`` derives from
+    ``TrainingConfig``, ``serve`` from ``ServiceConfig`` — and the
+    parity tests in tests/test_cli.py pin both bijections.
     """
-    for f in _config_fields():
+    for f in _config_fields(cls):
         flag = "--" + f.name.replace("_", "-")
         if _field_type(f) is bool:
             parser.add_argument(
@@ -83,11 +90,9 @@ def add_config_flags(parser: argparse.ArgumentParser) -> None:
         parser.add_argument(flag, **kwargs)
 
 
-def config_from_args(args: argparse.Namespace) -> TrainingConfig:
+def config_from_args(args: argparse.Namespace, cls: type = TrainingConfig):
     """Build the config from the derived flags (one kwarg per field)."""
-    return TrainingConfig(
-        **{f.name: getattr(args, f.name) for f in _config_fields()}
-    )
+    return cls(**{f.name: getattr(args, f.name) for f in _config_fields(cls)})
 
 
 def _add_train_parser(subparsers) -> None:
@@ -375,6 +380,60 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_serve_parser(subparsers) -> None:
+    from repro.service.config import ServiceConfig
+
+    p = subparsers.add_parser(
+        "serve",
+        help="run a multi-tenant training service workload "
+        "(flags mirror ServiceConfig)",
+    )
+    add_config_flags(p, cls=ServiceConfig)
+    # Orchestration flags (not part of the workload's identity).
+    p.add_argument("--out", default=None,
+                   help="service root: report under <out>/service, isolated "
+                   "baselines under <out>/baselines (default: in-memory)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the isolated-baseline sweep")
+    p.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="load the persisted report for an identical workload "
+                   "instead of re-running it (needs --out)")
+    p.add_argument("--substrate", default="auto", choices=["auto", "exact"],
+                   help="baseline policy: 'auto' replays recorded statistics "
+                   "for eligible jobs; 'exact' trains every job with real numpy")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw report document instead of the table")
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.api.service import Service
+    from repro.service.config import ServiceConfig
+
+    config = config_from_args(args, cls=ServiceConfig)
+    service = Service.from_config(
+        config,
+        root=args.out,
+        jobs=args.jobs,
+        substrate=args.substrate,
+        resume=args.resume,
+        progress=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    outcome = service.run()
+    if args.json:
+        print(json.dumps(outcome.data, sort_keys=True, indent=1))
+    else:
+        print(outcome.report())
+    status = (
+        "report resumed, 0 job(s) re-run"
+        if outcome.ran_jobs == 0
+        else f"{outcome.ran_jobs} job(s) simulated"
+    )
+    where = f"; report at {outcome.path}" if outcome.path is not None else ""
+    print(f"service {outcome.data['service_hash']}: {status}{where}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -385,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("workloads", help="list tuned Table-4 workloads")
     _add_estimate_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_serve_parser(subparsers)
     _add_fuzz_parser(subparsers)
     return parser
 
@@ -396,6 +456,7 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": _run_workloads,
         "estimate": _run_estimate,
         "sweep": _run_sweep,
+        "serve": _run_serve,
         "fuzz": _run_fuzz,
     }
     return handlers[args.command](args)

@@ -50,6 +50,67 @@ def _merge_seconds(total_bytes: float) -> float:
 _PENDING_READS: "WeakKeyDictionary[ObjectStore, dict[str, int]]" = WeakKeyDictionary()
 
 
+def round_index_of_key(key: str) -> int | None:
+    """The communication round a round-file key belongs to, or None.
+
+    Both patterns name their temporaries ``ar/<round_id>/...`` and
+    ``sr/<round_id>/...`` where ``round_id`` starts with the
+    zero-padded 8-digit round index (loss exchanges append ``-loss``).
+    Anything else — partitions, checkpoints, the ASP global model — is
+    not a round file and returns None (retained forever by the GC
+    retention window below).
+    """
+    if not (key.startswith("ar/") or key.startswith("sr/")):
+        return None
+    digits = key[3:11]
+    if len(digits) == 8 and digits.isdigit() and key[11:12] in ("/", "-"):
+        return int(digits)
+    return None
+
+
+class RetentionWindow:
+    """Crash-safe GC: retain round files until every checkpoint passes.
+
+    Attached to a store by the job context when crash injection is on
+    (replacing the old blanket ``gc_enabled = False``). Last-reader
+    discards of round files are deferred while their round index is at
+    or above ``floor`` — the oldest round any rank's successor could
+    still re-execute. When the fault injector observes that *every*
+    rank's durable checkpoint has moved past round ``r`` it advances
+    the floor, and all round files below it are deleted in one sweep
+    (reader counts are useless here: re-executed rounds re-read and
+    re-write files in ways a counter armed by the first execution
+    cannot track). Keys that are not round files are retained forever,
+    exactly as before.
+    """
+
+    def __init__(self) -> None:
+        self.floor = 0  # rounds below this are collectable
+        self.collected = 0  # keys deleted by floor advances (observability)
+
+    def retains(self, key: str) -> bool:
+        round_index = round_index_of_key(key)
+        return round_index is None or round_index >= self.floor
+
+    def advance(self, store: ObjectStore, floor: int) -> int:
+        """Raise the floor to `floor`; delete the rounds that fell below.
+
+        Zero-simulated-time housekeeping, like ``discard``: by the time
+        the floor moves past a round, every rank holds a durable
+        checkpoint at a later round, so no successor can ever re-read
+        these keys. Returns the number of keys deleted.
+        """
+        removed = 0
+        for r in range(self.floor, floor):
+            for prefix in (f"ar/{r:08d}", f"sr/{r:08d}"):
+                for key in store._do_list(prefix):
+                    store._do_delete(key)
+                    removed += 1
+        self.floor = max(self.floor, floor)
+        self.collected += removed
+        return removed
+
+
 def _arm_gc(store: ObjectStore, key: str, readers: int) -> None:
     """Arm the last-reader counter when the shared file is (re)written.
 
@@ -58,7 +119,12 @@ def _arm_gc(store: ObjectStore, key: str, readers: int) -> None:
     inheriting a stale, partially decremented one from an aborted run.
     """
     if not store.gc_enabled:
-        return  # crash-injected run: round files are retained for replay
+        return
+    if store.retention is not None:
+        # Crash-injected run: respawned workers re-read and re-write
+        # round files in ways reader counts cannot track. The retention
+        # window's floor sweep collects dead rounds instead.
+        return
     counts = _PENDING_READS.get(store)
     if counts is None:
         counts = {}

@@ -28,7 +28,7 @@ from repro.core.config import (
     faas_memory_error,
 )
 from repro.core.results import LossPoint
-from repro.comm.patterns import allreduce, scatter_reduce
+from repro.comm.patterns import RetentionWindow, allreduce, scatter_reduce
 from repro.data.datasets import DatasetSpec, get_spec
 from repro.data.loader import Shard
 from repro.errors import ConfigurationError, OutOfMemoryError
@@ -62,13 +62,18 @@ class WorkerOutcome:
 class JobContext:
     """Everything a worker generator needs, keyed by rank."""
 
-    def __init__(self, config: TrainingConfig, substrate=None) -> None:
+    def __init__(self, config: TrainingConfig, substrate=None, engine=None) -> None:
         self.config = config
         self.spec: DatasetSpec = get_spec(config.dataset)
         self.info: ModelInfo = get_model_info(
             config.model, config.dataset, k=config.k, l2=config.l2
         )
-        self.engine = Engine()
+        # `engine` lets several job graphs share one simulated clock
+        # (the multi-tenant service in repro.service); the default — a
+        # private engine starting at t=0 — is the classic isolated run.
+        # The cost meter is always per-job: on a shared engine it is
+        # what makes per-tenant dollars attributable.
+        self.engine = Engine() if engine is None else engine
         self.meter = CostMeter()
         self.scale = config.data_scale or self.spec.default_scale
 
@@ -139,8 +144,12 @@ class JobContext:
             store.fault_policy = StorageFaultPolicy(self.fault_plan, label)
         if self.fault_plan.crashes_enabled:
             # Respawned workers re-read round files their predecessor
-            # consumed; last-reader GC would make that a deadlock.
-            store.gc_enabled = False
+            # consumed; last-reader GC would make that a deadlock. A
+            # retention window defers collection instead: the fault
+            # injector advances its floor as checkpoints become
+            # durable, and rounds no successor can re-execute are
+            # swept — long crash-injected runs stay bounded in memory.
+            store.retention = RetentionWindow()
 
     # ------------------------------------------------------------------
     # Infrastructure setup (called by the driver)
@@ -315,6 +324,7 @@ class JobContext:
             "storage_retries": 0,
             "storage_backoff_s": 0.0,
             "storage_exhaustions": 0,
+            "gc_collected_keys": 0,
         }
         if self.fault_injector is not None:
             injected = self.fault_injector.events()
@@ -330,6 +340,8 @@ class JobContext:
             events["storage_retries"] += store.fault_events["retries"]
             events["storage_backoff_s"] += store.fault_events["backoff_s"]
             events["storage_exhaustions"] += store.fault_events["exhaustions"]
+            if store.retention is not None:
+                events["gc_collected_keys"] += store.retention.collected
         return events
 
     def converged(self, loss: float) -> bool:

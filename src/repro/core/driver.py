@@ -35,22 +35,49 @@ def train(config: TrainingConfig, substrate=None) -> RunResult:
     history and breakdown for BSP configs.
     """
     ctx = JobContext(config, substrate=substrate)
-    executor = _setup_platform(ctx)
+    launch_job(ctx)
+    ctx.engine.run()
+    return finalize_job(ctx, 0.0, ctx.engine.now)
 
-    for rank in range(config.workers):
-        proc = ctx.engine.spawn(executor(ctx, rank), name=f"worker-{rank}")
+
+def launch_job(ctx: JobContext, name_prefix: str = "") -> None:
+    """Build `ctx`'s platform and spawn its workers on its engine.
+
+    Extracted from :func:`train` so the multi-tenant service can launch
+    many jobs on one *shared* engine: each job keeps its own context
+    (stores, meter, fault plan) while its worker processes interleave
+    with every other tenant's on one clock. With the default empty
+    prefix and a private engine this is exactly the classic path.
+    ``name_prefix`` (e.g. ``"tenantA/"``) keeps process names unique
+    and attributable in a shared engine's trace.
+    """
+    executor = _setup_platform(ctx)
+    for rank in range(ctx.config.workers):
+        proc = ctx.engine.spawn(
+            executor(ctx, rank), name=f"{name_prefix}worker-{rank}"
+        )
         ctx.worker_procs[rank] = proc
         ctx.all_worker_procs.append(proc)
     if ctx.fault_plan.crashes_enabled:
         ctx.fault_injector = FaultInjector(ctx.fault_plan)
-        ctx.fault_injector.install(ctx, executor)
-    ctx.engine.run()
+        ctx.fault_injector.install(ctx, executor, name_prefix=name_prefix)
 
-    duration = ctx.engine.now
-    _bill_job(ctx, ctx.all_worker_procs, duration)
+
+def finalize_job(ctx: JobContext, started_at: float, ended_at: float) -> RunResult:
+    """Bill `ctx`'s finished job and assemble its :class:`RunResult`.
+
+    ``started_at``/``ended_at`` are absolute engine instants — 0 and
+    ``engine.now`` for an isolated run, the job's admission and last
+    worker exit for a service job on a shared clock. Billing and the
+    reported duration are computed relative to that window, so a
+    tenant pays for its own span, not the service's whole day.
+    """
+    duration = ended_at - started_at
+    _bill_job(ctx, ctx.all_worker_procs, started_at, ended_at)
 
     # Outcomes come from each rank's *final* incarnation; earlier ones
     # were killed by the fault injector and return nothing.
+    config = ctx.config
     final_procs = [ctx.worker_procs[rank] for rank in range(config.workers)]
     outcomes = [p.result for p in final_procs if isinstance(p.result, WorkerOutcome)]
     if not outcomes:
@@ -94,7 +121,8 @@ def _per_rank_traces(ctx: JobContext) -> list[TimeBreakdown]:
         return [proc.trace for proc in ctx.all_worker_procs]
     by_rank: list[list] = [[] for _ in range(workers)]
     for proc in ctx.all_worker_procs:
-        rank = int(proc.name.split("-", 1)[1].split("#", 1)[0])
+        # "worker-3", "worker-3#2", or a service job's "tenantA/worker-3#2".
+        rank = int(proc.name.split("#", 1)[0].rsplit("-", 1)[1])
         by_rank[rank].append(proc.trace)
     merged = []
     for traces in by_rank:
@@ -130,14 +158,21 @@ def _setup_platform(ctx: JobContext):
     raise ConfigurationError(f"unknown platform {config.platform!r}")
 
 
-def _bill_job(ctx: JobContext, procs, duration: float) -> None:
-    """Charge compute resources for the whole job at its end."""
+def _bill_job(ctx: JobContext, procs, started_at: float, ended_at: float) -> None:
+    """Charge compute resources for the whole job at its end.
+
+    Instants are absolute engine times; per-second resources (VMs,
+    ElastiCache) are billed for the job's own window, and a process
+    that never finished (killed daemon-style at engine teardown) is
+    billed as if it ran to the job's end.
+    """
     config = ctx.config
     meter = ctx.meter
+    duration = ended_at - started_at
     if config.platform in ("faas", "hybrid"):
         for proc in procs:
-            started = proc.started_at or 0.0
-            finished = proc.finished_at if proc.finished_at is not None else duration
+            started = proc.started_at if proc.started_at is not None else started_at
+            finished = proc.finished_at if proc.finished_at is not None else ended_at
             meter.bill_lambda(
                 config.lambda_memory_gb, max(0.0, finished - started), invocations=1
             )

@@ -78,6 +78,8 @@ class FaultInjector:
         self._initial: dict[int, Any] = {}
         self._ctx = None
         self._executor: Callable | None = None
+        self._origin = 0.0  # engine instant the job started at
+        self._name_prefix = ""  # worker-name prefix (service tenants)
 
     # ------------------------------------------------------------------
     # Wiring (driver side)
@@ -86,10 +88,15 @@ class FaultInjector:
     def crashes_enabled(self) -> bool:
         return self.plan.crashes_enabled
 
-    def install(self, ctx, executor: Callable) -> None:
+    def install(self, ctx, executor: Callable, name_prefix: str = "") -> None:
         """Snapshot initial statistical state and spawn the monitors."""
         self._ctx = ctx
         self._executor = executor
+        self._name_prefix = name_prefix
+        # The plan's crash instants are job-relative; on a shared
+        # service engine the job may start at t > 0, so monitors offset
+        # them by the install instant. Zero for classic isolated runs.
+        self._origin = ctx.engine.now
         if not self.crashes_enabled:
             return
         config = ctx.config
@@ -103,10 +110,14 @@ class FaultInjector:
         if config.platform == "faas":
             for rank in range(config.workers):
                 ctx.engine.spawn(
-                    self._faas_monitor(rank), f"fault-monitor-{rank}", daemon=True
+                    self._faas_monitor(rank),
+                    f"{name_prefix}fault-monitor-{rank}",
+                    daemon=True,
                 )
         else:
-            ctx.engine.spawn(self._iaas_monitor(), "fault-monitor", daemon=True)
+            ctx.engine.spawn(
+                self._iaas_monitor(), f"{name_prefix}fault-monitor", daemon=True
+            )
 
     # ------------------------------------------------------------------
     # Executor-side hooks (FaaS recovery checkpoints)
@@ -137,6 +148,29 @@ class FaultInjector:
             records=ctx.record_counts.get(rank, 0),
         )
         self.recovery_checkpoints += 1
+        self._advance_gc_floor()
+
+    def _advance_gc_floor(self) -> None:
+        """Collect round files no successor can ever re-execute.
+
+        A FaaS checkpoint at round r means that rank's successor resumes
+        *at* r and re-executes rounds >= r; rounds strictly below the
+        minimum checkpointed round across *all* ranks are therefore dead.
+        Until every rank has at least one durable checkpoint the floor
+        cannot move (an uncheckpointed rank would restart from round 0).
+        """
+        ctx = self._ctx
+        if ctx.config.platform != "faas":
+            return
+        if len(self._recovery) < ctx.config.workers:
+            return
+        floor = min(r.round_state.rounds for r in self._recovery.values())
+        stores = [ctx.data_store]
+        if ctx.channel is not None:
+            stores.append(ctx.channel.store)
+        for store in stores:
+            if store.retention is not None and floor > store.retention.floor:
+                store.retention.advance(store, floor)
 
     # ------------------------------------------------------------------
     # Monitors (engine daemon processes)
@@ -146,7 +180,7 @@ class FaultInjector:
         ctx = self._ctx
         engine = ctx.engine
         for crash_at in self.plan.crash_times(rank):
-            delay = crash_at - engine.now
+            delay = self._origin + crash_at - engine.now
             if delay > 0:
                 yield Sleep(delay, "idle")
             proc = ctx.worker_procs[rank]
@@ -167,7 +201,7 @@ class FaultInjector:
             rank = min(range(workers), key=lambda r: upcoming[r])
             crash_at = upcoming[rank]
             upcoming[rank] = next(streams[rank])
-            delay = crash_at - engine.now
+            delay = self._origin + crash_at - engine.now
             if delay > 0:
                 yield Sleep(delay, "idle")
             procs = [ctx.worker_procs[r] for r in range(workers)]
@@ -188,7 +222,8 @@ class FaultInjector:
             for r in range(workers):
                 ctx.substrate.restore_rank(r, self._initial[r])
                 successor = engine.spawn(
-                    self._executor(ctx, r), name=f"worker-{r}#{generation}"
+                    self._executor(ctx, r),
+                    name=f"{self._name_prefix}worker-{r}#{generation}",
                 )
                 ctx.worker_procs[r] = successor
                 ctx.all_worker_procs.append(successor)
@@ -218,7 +253,7 @@ class FaultInjector:
         )
         successor = ctx.engine.spawn(
             self._executor(ctx, rank, resume),
-            name=f"worker-{rank}#{incarnation}",
+            name=f"{self._name_prefix}worker-{rank}#{incarnation}",
         )
         self.respawns += 1
         ctx.worker_procs[rank] = successor

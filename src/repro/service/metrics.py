@@ -1,0 +1,113 @@
+"""Service-level metrics and the report document.
+
+Everything here is a pure function of the per-job records the runtime
+produced — no host wall-clock, no engine internals — so a report is
+byte-identical across hosts and across serial/pooled baseline runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Deterministic linear-interpolation percentile (q in [0, 100])."""
+    if not values:
+        raise SimulationError("percentile of an empty series")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (q / 100.0) * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def service_metrics(records: list[dict]) -> dict:
+    """Aggregate per-job records into the service-level scorecard."""
+    completions = [r["completion_s"] for r in records]
+    slowdowns = [r["slowdown"] for r in records]
+    total_cost = sum(r["cost_dollars"] for r in records)
+    jobs = len(records)
+    return {
+        "jobs": jobs,
+        "p50_completion_s": percentile(completions, 50.0),
+        "p99_completion_s": percentile(completions, 99.0),
+        "mean_completion_s": sum(completions) / jobs,
+        "mean_queue_s": sum(r["queue_s"] for r in records) / jobs,
+        "total_cost": total_cost,
+        "cost_per_job": total_cost / jobs,
+        "mean_slowdown": sum(slowdowns) / jobs,
+        "max_slowdown": max(slowdowns),
+        "makespan_s": max(r["completed_s"] for r in records),
+        "converged_jobs": sum(1 for r in records if r["converged"]),
+    }
+
+
+def build_report(
+    service_hash: str,
+    fingerprint: dict,
+    records: list[dict],
+) -> dict:
+    """The persisted (content-addressed) service report document."""
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "kind": "service_report",
+        "service_hash": service_hash,
+        "service": fingerprint,
+        "tenants": records,
+        "metrics": service_metrics(records),
+    }
+
+
+def validate_report(report: dict, expected_hash: str | None = None) -> dict:
+    """Shape-check a loaded report (resume path); raises on mismatch."""
+    required = {"schema", "kind", "service_hash", "service", "tenants", "metrics"}
+    if not isinstance(report, dict) or not required <= set(report):
+        missing = required - set(report) if isinstance(report, dict) else required
+        raise SimulationError(f"service report missing sections: {sorted(missing)}")
+    if report["schema"] != REPORT_SCHEMA_VERSION:
+        raise SimulationError(
+            f"service report schema {report['schema']} != {REPORT_SCHEMA_VERSION}"
+        )
+    if report["kind"] != "service_report":
+        raise SimulationError(f"not a service report: kind={report['kind']!r}")
+    if expected_hash is not None and report["service_hash"] != expected_hash:
+        raise SimulationError(
+            f"service report hash {report['service_hash']} != {expected_hash}"
+        )
+    if not isinstance(report["tenants"], list) or not report["tenants"]:
+        raise SimulationError("service report has no tenant records")
+    return report
+
+
+def format_service_report(report: dict) -> str:
+    """Render a report the way the experiment tables are rendered."""
+    from repro.experiments.report import format_table
+
+    metrics = report["metrics"]
+    rows = [
+        [
+            r["job"], r["tenant"], r["workers_granted"], r["queue_s"],
+            r["run_s"], r["completion_s"], r["slowdown"], r["cost_dollars"],
+        ]
+        for r in report["tenants"]
+    ]
+    table = format_table(
+        f"Service report ({report['service'].get('scheduler', '?')}, "
+        f"{metrics['jobs']} jobs)",
+        ["job", "tenant", "W", "queue(s)", "run(s)", "completion(s)",
+         "slowdown", "cost($)"],
+        rows,
+    )
+    summary = (
+        f"p50 completion {metrics['p50_completion_s']:.3g} s | "
+        f"p99 {metrics['p99_completion_s']:.3g} s | "
+        f"$/job {metrics['cost_per_job']:.4g} | "
+        f"mean slowdown {metrics['mean_slowdown']:.3g}x | "
+        f"makespan {metrics['makespan_s']:.3g} s"
+    )
+    return f"{table}\n{summary}"

@@ -106,11 +106,14 @@ class ObjectStore:
         self.available_at = profile.startup_s if available_from is None else available_from
         self.queue = ServiceQueue(profile.concurrency)
         # Fault plane (see module docstring). fault_policy is attached
-        # by the job context; gc_enabled is cleared for crash-injected
-        # runs so respawned workers can re-read round files their dead
-        # predecessor already consumed.
+        # by the job context. Crash-injected runs attach a retention
+        # window (repro.comm.patterns.RetentionWindow): respawned
+        # workers re-read round files their dead predecessor already
+        # consumed, so those files outlive their last reader — until
+        # every rank's durable checkpoint has moved past their round.
         self.fault_policy = None
         self.gc_enabled = True
+        self.retention = None
         self.fault_events = {
             "storage_errors": 0, "retries": 0, "backoff_s": 0.0, "exhaustions": 0,
         }
@@ -341,12 +344,17 @@ class ObjectStore:
         files have been fully merged, so long simulations do not
         accumulate memory. Not billed and not timed — by construction
         the discarded keys can never be read again. Crash-injected runs
-        clear ``gc_enabled`` and retain everything: a respawned worker
-        re-executes its lost rounds, so "can never be read again" no
-        longer holds there.
+        attach a retention window instead: a respawned worker
+        re-executes rounds back to its last durable checkpoint, so "can
+        never be read again" only holds for rounds below the oldest
+        live checkpoint — the window's floor. Retained keys are
+        collected in bulk when the fault injector advances that floor.
         """
-        if self.gc_enabled:
-            self._do_delete(key)
+        if not self.gc_enabled:
+            return
+        if self.retention is not None and self.retention.retains(key):
+            return
+        self._do_delete(key)
 
     def __len__(self) -> int:
         return len(self._objects)

@@ -145,3 +145,70 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "epochs" in out
+
+
+def serve_subparser() -> argparse.ArgumentParser:
+    parser = build_parser()
+    subparsers = parser._subparsers._group_actions[0]
+    return subparsers.choices["serve"]
+
+
+# Orchestration knobs (where reports/baselines live, parallelism,
+# resume, substrate policy, output format) are deliberately NOT part of
+# the workload's identity, so they are hand-written flags, not
+# ServiceConfig fields.
+SERVE_ORCHESTRATION_FLAGS = {"out", "jobs", "resume", "substrate", "json"}
+
+
+class TestServeFlagParity:
+    """`serve` flags are generated from ServiceConfig — pin the bijection."""
+
+    def config_fields(self) -> dict[str, dataclasses.Field]:
+        from repro.service.config import ServiceConfig
+
+        return {
+            f.name: f for f in dataclasses.fields(ServiceConfig) if f.init
+        }
+
+    def flag_actions(self) -> dict[str, argparse.Action]:
+        return {
+            action.dest: action
+            for action in serve_subparser()._actions
+            if action.dest != "help"
+            and action.dest not in SERVE_ORCHESTRATION_FLAGS
+        }
+
+    def test_field_flag_bijection(self):
+        assert self.flag_actions().keys() == self.config_fields().keys()
+
+    def test_flag_names_types_defaults_match_fields(self):
+        actions = self.flag_actions()
+        for name, field in self.config_fields().items():
+            action = actions[name]
+            flag = "--" + name.replace("_", "-")
+            assert flag in action.option_strings, name
+            kind = str(field.type).split("|")[0].strip()
+            if kind == "bool":
+                assert isinstance(action, argparse.BooleanOptionalAction), name
+                assert action.default == field.default
+            elif field.default is dataclasses.MISSING:
+                assert action.required, name
+            else:
+                assert action.default == field.default, name
+                assert action.type is {"int": int, "float": float, "str": str}[kind]
+
+    def test_metadata_choices_reach_argparse(self):
+        actions = self.flag_actions()
+        for name, field in self.config_fields().items():
+            choices = field.metadata.get("choices")
+            if choices is not None:
+                assert actions[name].choices == list(choices), name
+
+    def test_orchestration_flags_present_and_disjoint(self):
+        dests = {a.dest for a in serve_subparser()._actions}
+        assert SERVE_ORCHESTRATION_FLAGS <= dests
+        assert not (SERVE_ORCHESTRATION_FLAGS & self.config_fields().keys())
+
+    def test_serve_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scheduler", "lifo"])

@@ -27,7 +27,8 @@ from repro.sweep.study import (
 # The full catalog an ISSUE-5 registry must expose.
 EXPECTED_STUDIES = {
     "cost_sanity", "datasets", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "figR", "multitenancy", "smoke",
+    "fig12", "fig13", "fig14", "fig15", "figR", "figS", "multitenancy",
+    "multitenancy_analytical", "smoke",
     "table1", "table2", "table3", "table5", "table6",
 }
 
@@ -71,7 +72,7 @@ class TestRegistry:
     def test_direct_studies_aggregate_without_artifacts(self):
         # The cheap analytical ones; table3/table6/datasets run real
         # engine probes and are covered by test_experiments.py.
-        for name in ("fig14", "fig15", "table2", "multitenancy"):
+        for name in ("fig14", "fig15", "table2", "multitenancy_analytical"):
             entry = get_study(name)
             result = entry.aggregate([])
             assert result, name
@@ -213,6 +214,10 @@ class TestCliCatalog:
         assert "Table 2" in stdout
         assert "0 point(s) run" in stdout
 
-    def test_multitenancy_through_the_sweep_cli(self, capsys):
-        assert main(["sweep", "--experiment", "multitenancy", "--no-report"]) == 0
+    def test_multitenancy_analytical_through_the_sweep_cli(self, capsys):
+        # The closed-form study stays a zero-point direct study; its
+        # simulated sibling ("multitenancy") is an ordinary grid study
+        # covered by test_grid_studies_build_valid_unique_configs.
+        assert main(["sweep", "--experiment", "multitenancy_analytical",
+                     "--no-report"]) == 0
         assert "0 point(s) run" in capsys.readouterr().out
