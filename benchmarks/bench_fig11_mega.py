@@ -1,0 +1,115 @@
+"""fig11 mega tail: the W=1024/2048/4096 FaaS points behind ``--mega``.
+
+Runs the mega-scale slice of fig11's LR/Higgs FaaS series through the
+real sweep orchestrator with ``substrate="auto"`` — the same replay
+substrate a ``repro.cli sweep --experiment fig11 --mega`` invocation
+uses — and merges the per-point records into the ``points`` section of
+``BENCH_sweep.json``, plus a ``mega`` section recording the ceiling
+and per-point host wall. Worker count is a statistical axis (each W is
+its own fingerprint), so every mega point is one exact training with a
+trace recorded; what the record demonstrates is that the engine
+*completes* the W=4096 point at all — the pre-mega engine's flat key
+index put that out of interactive reach (see BENCH_engine.json's
+``pre_mega`` baselines).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fig11_mega.py
+
+``--dry`` prints the record without touching BENCH_sweep.json.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.experiments.fig11_scaling import MEGA_FAAS_WORKERS, lr_higgs_points
+from repro.sweep.orchestrator import run_sweep
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def mega_points():
+    """Just the mega FaaS tail: no default FaaS series, no IaaS grid."""
+    return lr_higgs_points(
+        faas_workers=(), iaas_workers=(), iaas_instances=(),
+        max_epochs=40, mega=True,
+    )
+
+
+def measure() -> dict:
+    points = mega_points()
+    assert [p.config_kwargs["workers"] for p in points] == list(MEGA_FAAS_WORKERS)
+    records = {}
+    walls = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for point in points:  # one at a time: per-point host wall
+            t0 = time.perf_counter()
+            run = run_sweep([point], out_dir=Path(tmp), substrate="auto")
+            wall = time.perf_counter() - t0
+            (artifact,) = run.artifacts
+            result = artifact["result"]
+            workers = artifact["config"]["workers"]
+            walls[str(workers)] = round(wall, 3)
+            records[str(workers)] = {
+                "workers": workers,
+                "config_hash": artifact["config_hash"],
+                "simulated_runtime_s": round(result["duration_s"], 1),
+                "cost_dollars": round(result["cost_total"], 4),
+                "converged": result["converged"],
+                "comm_rounds": result["comm_rounds"],
+                "host_wall_seconds": round(wall, 3),
+            }
+            print(
+                f"W={workers:5d}  host={wall:7.1f}s  "
+                f"sim={result['duration_s']:8.1f}s  "
+                f"cost=${result['cost_total']:8.2f}  "
+                f"converged={result['converged']}"
+            )
+    return {
+        "note": (
+            "fig11 LR/Higgs FaaS tail past the cost cliff (sweep --mega): "
+            "the mega-scale engine (chunked key index, batched dispatch, "
+            "float-heap service slots) completes the W=4096 point "
+            f"in {walls[str(max(MEGA_FAAS_WORKERS))]} s of host wall — the "
+            "regime the pre-mega flat-index engine could not reach "
+            "interactively (284 s for ONE 1024-worker ScatterReduce round; "
+            "see BENCH_engine.json)."
+        ),
+        "command": (
+            "PYTHONPATH=src python -m repro.cli sweep --experiment fig11 "
+            "--mega  (this record: benchmarks/bench_fig11_mega.py)"
+        ),
+        "workers": list(MEGA_FAAS_WORKERS),
+        "host_wall_seconds": walls,
+        "points": records,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dry", action="store_true",
+                        help="print the record without updating BENCH_sweep.json")
+    args = parser.parse_args(argv)
+    record = measure()
+    print(json.dumps(record, indent=1))
+    if not args.dry:
+        baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+        # Mega points join the main per-point table (same shape, just
+        # more of the curve) and the mega section records the ceiling.
+        baseline.setdefault("points", {}).update(record["points"])
+        baseline["mega"] = {k: v for k, v in record.items() if k != "points"}
+        BASELINE.write_text(json.dumps(baseline, indent=1) + "\n")
+        print(f"[merged into {BASELINE}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

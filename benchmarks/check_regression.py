@@ -4,17 +4,24 @@ Re-runs the ScatterReduce microbenchmark from
 ``bench_engine_microbench.py`` at the recorded worker counts and
 applies two checks against the record committed in ``BENCH_engine.json``:
 
-1. **Scaling ratio (machine-independent).** time(w_max)/time(w_min)
-   measures the complexity class, not the machine: the O(w^3) seed
-   engine ran 12x from w=50 to w=100, the indexed engine ~4.4x. The
-   gate fails when the measured ratio exceeds the recorded ratio by
+1. **Scaling ratios (machine-independent).** time(w_hi)/time(w_lo)
+   for every *adjacent* pair of recorded worker counts (50->100,
+   100->512, 512->1024) measures the complexity class, not the
+   machine: the O(w^3) seed engine ran 12x from w=50 to w=100; the
+   pre-mega flat-index engine ran ~13x from 512 to 1024 (its O(n)
+   key-list memmove) where the chunked-index engine runs ~5x. A gate
+   fails when the measured ratio exceeds the recorded ratio by
    ``--ratio-slack`` (default 1.75x) — this is the real regression
-   detector, immune to slow CI runners.
+   detector, immune to slow CI runners, and the per-pair placement
+   localises *which* scale regime regressed.
 2. **Absolute wall-clock (loose).** Each point must finish within
    ``--factor`` (default 3x) of the recorded ``current_seconds`` —
    a backstop for uniform constant-factor slowdowns. Deliberately
    generous because the baseline was measured on a dev machine and CI
-   runner cores vary; each point takes the best of ``--repeats`` runs.
+   runner cores vary; each point takes the best of ``--repeats`` runs
+   (points at w >= 512 run once — at ~10-45 s apiece, repeating them
+   would dominate the CI job for noise-reduction the ratio gates
+   don't need).
 
 It also sanity-checks the *shape* of ``BENCH_sweep.json`` (the sweep
 acceptance record): both the original per-point schema and the
@@ -68,6 +75,7 @@ _SWEEP_FUZZ_KEYS = {"seed", "budget", "scenarios", "checks_per_invariant",
                     "checks_total", "campaign_wall_seconds"}
 _SWEEP_SERVICE_KEYS = {"tenants", "rate_per_hour", "seed", "max_concurrent",
                        "schedulers"}
+_SWEEP_MEGA_KEYS = {"note", "command", "workers", "host_wall_seconds"}
 _SERVICE_METRIC_KEYS = {"jobs", "p50_completion_s", "p99_completion_s",
                         "mean_completion_s", "mean_queue_s", "total_cost",
                         "cost_per_job", "mean_slowdown", "max_slowdown",
@@ -115,6 +123,28 @@ def check_sweep_baseline(path: Path) -> list[str]:
     problems.extend(_check_reliability_section(path, baseline.get("reliability")))
     problems.extend(_check_fuzz_section(path, baseline.get("fuzz_campaign")))
     problems.extend(_check_service_section(path, baseline.get("service")))
+    problems.extend(_check_mega_section(path, baseline))
+    return problems
+
+
+def _check_mega_section(path: Path, baseline: dict) -> list[str]:
+    """Shape-validate the mega-scale ceiling record (sweep --mega tail)."""
+    mega = baseline.get("mega")
+    if mega is None:  # optional until bench_fig11_mega has run
+        return []
+    if not isinstance(mega, dict):
+        return [f"{path.name}: 'mega' must be an object"]
+    missing = _SWEEP_MEGA_KEYS - mega.keys()
+    if missing:
+        return [f"{path.name}: 'mega' section missing {sorted(missing)}"]
+    problems = []
+    points = baseline.get("points") or {}
+    for workers in mega["workers"]:
+        if str(workers) not in points:
+            problems.append(
+                f"{path.name}: mega records W={workers} but 'points' has no "
+                "such entry — rerun benchmarks/bench_fig11_mega.py"
+            )
     return problems
 
 
@@ -295,7 +325,8 @@ def main(argv: list[str] | None = None) -> int:
         record = results[key]
         workers = record["workers"]
         budget = record["current_seconds"] * args.factor
-        elapsed = min(run_round(workers) for _ in range(max(1, args.repeats)))
+        repeats = max(1, args.repeats) if workers < 512 else 1
+        elapsed = min(run_round(workers) for _ in range(repeats))
         measured[workers] = elapsed
         verdict = "ok" if elapsed <= budget else "REGRESSION"
         print(
@@ -308,26 +339,29 @@ def main(argv: list[str] | None = None) -> int:
                 f"({args.factor:g}x the recorded {record['current_seconds']:.4f}s)"
             )
 
-    # Machine-independent complexity check: how does runtime *scale*
-    # between the smallest and largest recorded worker counts?
-    if len(measured) >= 2:
-        w_min, w_max = min(measured), max(measured)
+    # Machine-independent complexity checks: how does runtime *scale*
+    # between adjacent recorded worker counts? Per-pair gates localise
+    # which scale regime regressed (e.g. a flat-index relapse shows at
+    # 512->1024 long before it moves 50->100).
+    ordered = sorted(measured)
+    for w_lo, w_hi in zip(ordered, ordered[1:]):
         recorded_ratio = (
-            results[str(w_max)]["current_seconds"]
-            / results[str(w_min)]["current_seconds"]
+            results[str(w_hi)]["current_seconds"]
+            / results[str(w_lo)]["current_seconds"]
         )
-        measured_ratio = measured[w_max] / measured[w_min]
+        measured_ratio = measured[w_hi] / measured[w_lo]
         limit = recorded_ratio * args.ratio_slack
         verdict = "ok" if measured_ratio <= limit else "REGRESSION"
         print(
-            f"scaling w={w_min}->{w_max}: recorded {recorded_ratio:.2f}x, "
+            f"scaling w={w_lo}->{w_hi}: recorded {recorded_ratio:.2f}x, "
             f"limit {limit:.2f}x, measured {measured_ratio:.2f}x  {verdict}"
         )
         if measured_ratio > limit:
             failures.append(
-                f"scaling ratio w={w_min}->{w_max}: {measured_ratio:.2f}x > "
+                f"scaling ratio w={w_lo}->{w_hi}: {measured_ratio:.2f}x > "
                 f"{limit:.2f}x (complexity-class regression; the O(w^3) seed "
-                f"engine measured ~12x here)"
+                f"engine measured ~12x at 50->100, the flat-index engine "
+                f"~13x at 512->1024)"
             )
 
     if failures:

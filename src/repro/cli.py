@@ -101,11 +101,25 @@ def _add_train_parser(subparsers) -> None:
         help="run one simulated training job (flags mirror TrainingConfig)",
     )
     add_config_flags(p)
+    # Orchestration flag, not part of the workload's identity (the
+    # flag<->TrainingConfig parity test excludes it by name).
+    p.add_argument("--profile", metavar="DIR", nargs="?", const="profile",
+                   default=None,
+                   help="dump a cProfile (.pstats + top-40 text table) and "
+                   "the engine's event-count stats into DIR "
+                   "(default: ./profile)")
 
 
 def _run_train(args: argparse.Namespace) -> int:
     config = config_from_args(args)
-    result = train(config)
+    if args.profile:
+        from repro.profiling import profile_call
+
+        result, paths = profile_call(lambda: train(config), args.profile, "train")
+        for path in paths:
+            print(f"profile: {path}", file=sys.stderr)
+    else:
+        result = train(config)
     print(result.summary())
     print("\ntime breakdown (s):")
     for phase, seconds in sorted(result.breakdown.as_dict().items()):
@@ -201,8 +215,16 @@ def _add_sweep_parser(subparsers) -> None:
     p.add_argument("--max-epochs", type=_positive_float, default=None,
                    help="override every point's epoch cap (scaled-down sweeps)")
     p.add_argument("--seed", type=int, default=20210620)
+    p.add_argument("--mega", action="store_true",
+                   help="include the mega-scale grid tails (fig11: FaaS "
+                   "W=1024/2048/4096) — opt-in so default sweeps and CI "
+                   "smoke runs keep their wall budget")
     p.add_argument("--no-report", action="store_true",
                    help="skip the aggregated report (summary line only)")
+    p.add_argument("--profile", action="store_true",
+                   help="run the sweep under cProfile and dump it plus the "
+                   "engines' event-count stats into <out>/profile "
+                   "(forces --jobs 1: profiling is per-process)")
 
 
 def _dry_run_sweep(args: argparse.Namespace, experiment, points, out_dir) -> int:
@@ -250,7 +272,9 @@ def _list_studies(args: argparse.Namespace) -> int:
     width = max(len(name) for name in studies)
     print(f"{'study':<{width}} {'kind':<6} {'points':>6} {'stat-fp':>7}  description")
     for name, entry in studies.items():
-        points = entry.points(max_epochs=args.max_epochs, seed=args.seed)
+        points = entry.points(
+            max_epochs=args.max_epochs, seed=args.seed, mega=args.mega
+        )
         plan = plan_sweep(points)
         print(
             f"{name:<{width}} {entry.kind:<6} {plan['points']:>6} "
@@ -282,19 +306,39 @@ def _run_sweep(args: argparse.Namespace) -> int:
         )
 
     experiment = get_study(args.experiment)
-    points = experiment.points(max_epochs=args.max_epochs, seed=args.seed)
+    points = experiment.points(
+        max_epochs=args.max_epochs, seed=args.seed, mega=args.mega
+    )
     out_dir = args.out or os.path.join("sweeps", experiment.name)
     if args.dry_run:
         return _dry_run_sweep(args, experiment, points, out_dir)
-    run = run_sweep(
-        points,
-        out_dir=out_dir,
-        jobs=args.jobs,
-        resume=args.resume,
-        substrate=args.substrate,
-        traces_dir=args.traces,
-        progress=lambda message: print(message, file=sys.stderr, flush=True),
-    )
+    jobs = args.jobs
+    if args.profile and jobs != 1:
+        print("note: --profile forces --jobs 1 (cProfile and engine stats "
+              "are per-process)", file=sys.stderr)
+        jobs = 1
+
+    def execute():
+        return run_sweep(
+            points,
+            out_dir=out_dir,
+            jobs=jobs,
+            resume=args.resume,
+            substrate=args.substrate,
+            traces_dir=args.traces,
+            progress=lambda message: print(message, file=sys.stderr, flush=True),
+        )
+
+    if args.profile:
+        from repro.profiling import profile_call
+
+        run, paths = profile_call(
+            execute, os.path.join(out_dir, "profile"), "sweep"
+        )
+        for path in paths:
+            print(f"profile: {path}", file=sys.stderr)
+    else:
+        run = execute()
     if not args.no_report:
         print(experiment.format_report(experiment.aggregate(run.artifacts)))
         print()

@@ -31,6 +31,12 @@ from repro.sweep.study import study
 # Default grids. FaaS deliberately crosses the paper's ceiling: Fig. 11
 # stops near 300 workers, our engine sweeps to 512 and beyond.
 FAAS_WORKERS = (10, 30, 50, 100, 200, 300, 512)
+# The mega-scale tail (sweep --mega / StudyContext.mega): past the
+# cost cliff into the regime SMLT/MLLess study, where per-round
+# simulation cost dominates exploration. Opt-in, not default: the
+# tail costs minutes of host wall, and the default grid is what the
+# CI sweep smoke and the committed BENCH_sweep points budget for.
+MEGA_FAAS_WORKERS = (1024, 2048, 4096)
 IAAS_WORKERS = (1, 2, 5, 10, 20, 30)
 IAAS_INSTANCES = ("t2.medium", "c5.4xlarge")
 MOBILENET_FAAS_WORKERS = (5, 10, 20)
@@ -59,8 +65,18 @@ def lr_higgs_points(
     iaas_instances=IAAS_INSTANCES,
     max_epochs: float | None = None,
     seed: int = 20210620,
+    mega: bool = False,
 ) -> list[SweepPoint]:
-    """Declarative grid for the LR/Higgs profile."""
+    """Declarative grid for the LR/Higgs profile.
+
+    ``mega=True`` extends the FaaS series with the
+    :data:`MEGA_FAAS_WORKERS` tail (W=1024/2048/4096) — same workload,
+    same tags, just more of the curve.
+    """
+    if mega:
+        faas_workers = tuple(faas_workers) + tuple(
+            w for w in MEGA_FAAS_WORKERS if w not in faas_workers
+        )
     workload = get_workload("lr", "higgs")
     base = dict(
         model="lr", dataset="higgs", algorithm="admm",
@@ -136,17 +152,18 @@ def mobilenet_points(
 
 
 def sweep_points(
-    max_epochs: float | None = None, seed: int = 20210620
+    max_epochs: float | None = None, seed: int = 20210620, mega: bool = False
 ) -> list[SweepPoint]:
     """The full Figure-11 sweep grid (what ``repro.cli sweep`` runs).
 
     LR/Higgs uses the workload's 40-epoch benchmark cap; MobileNet runs
     the 6-epoch benchmark scale (its plateau shows within 6 epochs and
-    the full 60 would dominate the sweep's wall-clock).
+    the full 60 would dominate the sweep's wall-clock). ``mega`` adds
+    the W=1024/2048/4096 FaaS tail (``sweep --mega``).
     """
-    return lr_higgs_points(max_epochs=max_epochs or 40, seed=seed) + mobilenet_points(
-        max_epochs=max_epochs or 6, seed=seed
-    )
+    return lr_higgs_points(
+        max_epochs=max_epochs or 40, seed=seed, mega=mega
+    ) + mobilenet_points(max_epochs=max_epochs or 6, seed=seed)
 
 
 def aggregate(artifacts: list[dict]) -> list[ScalingProfile]:
@@ -215,11 +232,11 @@ def format_report(profiles: list[ScalingProfile]) -> str:
 
 @study("fig11")
 class Fig11Study:
-    """runtime/cost vs worker count; FaaS grid crosses the paper's ~300-worker ceiling up to 512"""
+    """runtime/cost vs worker count; FaaS grid crosses the paper's ~300-worker ceiling up to 512 (4096 with --mega)"""
 
     @staticmethod
     def points(ctx):
-        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed)
+        return sweep_points(max_epochs=ctx.max_epochs, seed=ctx.seed, mega=ctx.mega)
 
     aggregate = staticmethod(aggregate)
     format_report = staticmethod(format_report)

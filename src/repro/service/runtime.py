@@ -63,6 +63,23 @@ class SharedServices:
     def __init__(self) -> None:
         self._queues: dict[str, ServiceQueue] = {}
 
+    def contention_stats(self) -> dict[str, dict]:
+        """Per-service-class booking pressure (simulation-deterministic).
+
+        ``ops`` counts every booking the shared queue served across all
+        tenants; ``busy_until`` is the latest booked completion. Both
+        come from counters the queue maintains anyway, so reading them
+        costs nothing on the hot path.
+        """
+        return {
+            kind: {
+                "slots": queue.slots,
+                "ops": queue.ops_booked,
+                "busy_until": round(queue.busy_until, 6),
+            }
+            for kind, queue in sorted(self._queues.items())
+        }
+
     def adopt(self, store, kind: str) -> None:
         """Swap `store`'s private queue for the class-wide shared one."""
         queue = self._queues.get(kind)
@@ -243,6 +260,8 @@ class ServiceRuntime:
         self.tenant_busy_s: dict[str, float] = {}
         self.records: list[dict] = []
         self.results: dict[str, RunResult] = {}  # job id -> full RunResult
+        # Filled after run(): per-service-class shared-queue pressure.
+        self.service_stats: dict[str, dict] = {}
 
     # -- scheduler state view ---------------------------------------------
     @property
@@ -265,6 +284,7 @@ class ServiceRuntime:
                 f"{len(self.running)} running job(s)"
             )
         self.records.sort(key=lambda r: r["job"])
+        self.service_stats = self.shared.contention_stats()
         return self.records
 
     def _master(self):

@@ -31,6 +31,23 @@ bench_engine_microbench.py``):
   poll.
 * Service slot booking is O(log slots) via
   :class:`repro.simulation.resources.ServiceQueue`'s heap.
+* Event dispatch is batched per timestamp: the run loop advances the
+  clock once per distinct simulated instant, then drains every event
+  stamped with that instant in a tight inner loop (synchronized
+  phases — a W-worker barrier release, W² same-instant chunk
+  completions — pay one clock advance, not W²). Dispatch order within
+  a batch is still exactly heap order (seq tie-breaking), so batching
+  is invisible to traces.
+
+Profiling: :meth:`Engine.enable_stats` attaches an
+:class:`EngineStats` that counts dispatched events per callsite
+(closure ``__qualname__``), batches and peak heap size — the
+event-count profile ``repro.cli train --profile`` dumps next to the
+cProfile table. Disabled (the default) it costs one identity check
+per event. :func:`capture_stats` auto-enables it on every engine
+constructed inside a ``with`` block and collects the stats objects,
+which is how the CLI profiles runs whose engines are built deep
+inside the driver or sweep orchestrator.
 
 Fault-injection semantics (see :mod:`repro.faults`): :meth:`Engine.
 kill` terminates a process at its current yield point, deregistering
@@ -48,6 +65,7 @@ import heapq
 import itertools
 import math
 import re
+from contextlib import contextmanager
 from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import (
@@ -95,6 +113,74 @@ class ProcessState(enum.Enum):
     KILLED = "killed"
 
 
+# States in which a process can still run. Hot paths (_step, the get
+# completion closure) test membership directly instead of going through
+# the Process.alive property descriptor — same predicate, no call.
+_ALIVE_STATES = (ProcessState.READY, ProcessState.RUNNING, ProcessState.BLOCKED)
+
+
+class EngineStats:
+    """Optional per-run event counters (attach via Engine.enable_stats).
+
+    ``by_callsite`` keys are the dispatched closures' ``__qualname__``
+    (e.g. ``Engine._dispatch_put.<locals>.apply``), which names the
+    engine seam that scheduled the event — enough to see *which* hot
+    path a regression lives in without a full cProfile run.
+    """
+
+    __slots__ = ("events", "batches", "peak_heap", "by_callsite")
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.batches = 0
+        self.peak_heap = 0
+        self.by_callsite: dict[str, int] = {}
+
+    def record(self, fn: Callable[[], None]) -> None:
+        self.events += 1
+        name = getattr(fn, "__qualname__", None) or repr(fn)
+        self.by_callsite[name] = self.by_callsite.get(name, 0) + 1
+
+    def top_callsites(self, n: int = 10) -> list[tuple[str, int]]:
+        ranked = sorted(self.by_callsite.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    def summary(self) -> dict:
+        """JSON-ready snapshot (what --profile writes to the artifact dir)."""
+        return {
+            "events": self.events,
+            "batches": self.batches,
+            "events_per_batch": round(self.events / self.batches, 3) if self.batches else 0.0,
+            "peak_heap": self.peak_heap,
+            "top_callsites": self.top_callsites(),
+        }
+
+
+# When set (by capture_stats), every Engine constructed auto-enables
+# its EngineStats and appends it here, so profiling needs no plumbing
+# through the layers that build engines (driver, service, orchestrator).
+_STATS_SINK: list[EngineStats] | None = None
+
+
+@contextmanager
+def capture_stats(sink: list[EngineStats] | None = None):
+    """Collect an :class:`EngineStats` from every engine built inside.
+
+    Process-local (in-process sweeps and single trainings only): sweep
+    workers in other processes never see the sink, which is why
+    ``repro.cli sweep --profile`` forces ``--jobs 1``.
+    """
+    global _STATS_SINK
+    if sink is None:
+        sink = []
+    prev = _STATS_SINK
+    _STATS_SINK = sink
+    try:
+        yield sink
+    finally:
+        _STATS_SINK = prev
+
+
 class Process:
     """A simulated thread of execution with its own time breakdown."""
 
@@ -119,7 +205,7 @@ class Process:
 
     @property
     def alive(self) -> bool:
-        return self.state in (ProcessState.READY, ProcessState.RUNNING, ProcessState.BLOCKED)
+        return self.state in _ALIVE_STATES
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Process({self.name!r}, {self.state.value})"
@@ -136,6 +222,15 @@ class Engine:
         self.processes: list[Process] = []
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
+        # Pre-bound hot callables: _schedule runs once per event for the
+        # whole simulation, so the attribute/global lookups it would
+        # otherwise repeat are measurable at mega-scale.
+        self._seq_next = self._seq.__next__
+        self._heappush = heapq.heappush
+        # Optional event-count profile (enable_stats); None = disabled.
+        self.stats: EngineStats | None = None
+        if _STATS_SINK is not None:
+            _STATS_SINK.append(self.enable_stats())
         # store id() -> key -> [(registration seq, callback, process)].
         self._key_waiters: dict[
             int, dict[str, list[tuple[int, Callable[[float], None], Process]]]
@@ -182,17 +277,34 @@ class Engine:
         self._schedule(start_at, lambda: self._first_step(proc))
         return proc
 
+    def enable_stats(self) -> EngineStats:
+        """Attach (or return the existing) event-count profile."""
+        if self.stats is None:
+            self.stats = EngineStats()
+        return self.stats
+
     def run(self, until: float | None = None) -> None:
         """Process events until the queue drains (or `until` is reached).
 
         Raises :class:`DeadlockError` if non-daemon processes remain
         blocked with no event that could ever wake them.
+
+        Dispatch is batched per simulated instant: one heap pop decides
+        the batch timestamp t and advances the clock; a tight inner
+        loop then drains every event stamped exactly t — including
+        events the batch itself schedules at t (zero-delay resumes,
+        same-instant completions) — without touching the clock again.
+        Pops still come off the heap one at a time, so dispatch order
+        (and all seq tie-breaking) is identical to the historical
+        one-pop-one-advance loop; only the per-event clock/`until`
+        bookkeeping is hoisted out.
         """
-        # This loop pops one event per simulated operation for the whole
-        # run; bind the hot callables once instead of per iteration.
+        # Bind the hot callables once instead of per event.
         heap = self._heap
         heappop = heapq.heappop
-        advance_to = self.clock.advance_to
+        clock = self.clock
+        advance_to = clock.advance_to
+        stats = self.stats
         while heap:
             if self._nondaemon_spawned and not self._nondaemon_alive:
                 # Only daemon events remain; the job itself is over.
@@ -204,7 +316,24 @@ class Engine:
                 advance_to(until)
                 return
             advance_to(t)
+            if stats is not None:
+                stats.batches += 1
+                if len(heap) >= stats.peak_heap:
+                    stats.peak_heap = len(heap) + 1
+                stats.record(fn)
             fn()
+            # Same-instant drain. Events pushed at exactly t while the
+            # batch runs land at the heap top and are consumed here; a
+            # float-equality miss just falls back to the outer loop.
+            # (t <= until holds for the whole batch: it was checked
+            # above and the timestamp does not change.)
+            while heap and heap[0][0] == t:
+                if self._nondaemon_spawned and not self._nondaemon_alive:
+                    break
+                fn = heappop(heap)[2]
+                if stats is not None:
+                    stats.record(fn)
+                fn()
         stuck = [p for p in self.processes if p.state == ProcessState.BLOCKED and not p.daemon]
         if stuck:
             names = ", ".join(p.name for p in stuck[:8])
@@ -233,9 +362,11 @@ class Engine:
     # ------------------------------------------------------------------
     def _schedule(self, at: float, fn: Callable[[], None]) -> None:
         now = self.clock.now
-        if at < now - 1e-12:
-            raise SimulationError(f"cannot schedule event in the past: {at} < {now}")
-        heapq.heappush(self._heap, (at if at > now else now, next(self._seq), fn))
+        if at <= now:
+            if at < now - 1e-12:
+                raise SimulationError(f"cannot schedule event in the past: {at} < {now}")
+            at = now
+        self._heappush(self._heap, (at, self._seq_next(), fn))
 
     def _first_step(self, proc: Process) -> None:
         if proc.state is not ProcessState.READY:
@@ -245,7 +376,7 @@ class Engine:
 
     def _step(self, proc: Process, send_value: Any = None, throw: BaseException | None = None):
         """Advance the generator one command and dispatch it."""
-        if not proc.alive:
+        if proc.state not in _ALIVE_STATES:
             return
         proc.state = ProcessState.RUNNING
         try:
@@ -373,7 +504,7 @@ class Engine:
         # Size is only known at completion; we first charge the latency,
         # then the transfer of the actual object found at completion.
         def apply_lookup() -> None:
-            if not proc.alive:
+            if proc.state not in _ALIVE_STATES:
                 return  # killed while the request was in flight
             try:
                 value = cmd.store._do_get(cmd.key)

@@ -2,18 +2,20 @@
 
 The data plane is a plain dict (the engine applies mutations at the
 simulated completion time of each operation, so visibility is
-chronologically consistent) plus an incremental index: a sorted key
-list maintained with :mod:`bisect`, and live counters for every prefix
-the engine has registered a waiter on. The index makes the hot-path
-queries cheap at scale:
+chronologically consistent) plus an incremental index: an
+:class:`~repro.storage.ordered_index.OrderedKeyIndex` (a chunked
+sorted list — bounded-memmove mutations), and live counters for every
+prefix the engine has registered a waiter on. The index makes the
+hot-path queries cheap at mega-scale:
 
 * ``_do_list(prefix)`` — O(log n + m) for n stored keys, m matches
-  (bisect the prefix range out of the sorted list);
+  (locate the prefix range, concatenate whole chunks);
 * ``_count_prefix(prefix)`` — O(1) for a registered prefix (live
-  counter), O(log n) otherwise (bisect);
-* each mutation — O(n) worst-case for the sorted-list insert/remove
-  (a C-level memmove) plus O(len(key)) dict probes to update the
-  registered-prefix counters.
+  counter), O(log n + n/chunk) otherwise (two endpoint ranks);
+* each mutation — O(log n) bisects plus a memmove bounded by the
+  chunk size (never O(n); this is what lifted the old flat sorted
+  list's ~10^5-key ceiling) plus O(len(key)) dict probes to update
+  the registered-prefix counters.
 
 The timing plane is a :class:`StorageProfile` — latency, bandwidth,
 concurrency, startup delay and item limit — which is where the
@@ -32,7 +34,6 @@ pre-fault-plane engine.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -44,6 +45,7 @@ from repro.errors import (
 )
 from repro.pricing.meter import CostMeter
 from repro.simulation.resources import ServiceQueue
+from repro.storage.ordered_index import OrderedKeyIndex
 
 _MAX_CHAR = chr(0x10FFFF)
 
@@ -119,9 +121,10 @@ class ObjectStore:
         }
         self._op_index = 0
         self._objects: dict[str, Any] = {}
-        # Incremental index: all stored keys in sorted order, plus live
-        # match counts for prefixes the engine is actively waiting on.
-        self._sorted_keys: list[str] = []
+        # Incremental index: all stored keys in sorted order (chunked,
+        # so mutations never pay an O(n) memmove), plus live match
+        # counts for prefixes the engine is actively waiting on.
+        self._keys = OrderedKeyIndex()
         self._prefix_counts: dict[str, int] = {}
         self._max_prefix_len = 0
 
@@ -239,27 +242,16 @@ class ObjectStore:
     # Index maintenance
     # ------------------------------------------------------------------
     def _index_add(self, key: str) -> None:
-        insort(self._sorted_keys, key)
+        self._keys.add(key)
         if self._prefix_counts:
             for prefix in self.matching_registered_prefixes(key):
                 self._prefix_counts[prefix] += 1
 
     def _index_remove(self, key: str) -> None:
-        idx = bisect_left(self._sorted_keys, key)
-        del self._sorted_keys[idx]
+        self._keys.remove(key)
         if self._prefix_counts:
             for prefix in self.matching_registered_prefixes(key):
                 self._prefix_counts[prefix] -= 1
-
-    def _prefix_bounds(self, prefix: str) -> tuple[int, int]:
-        if not prefix:
-            return 0, len(self._sorted_keys)
-        lo = bisect_left(self._sorted_keys, prefix)
-        upper = _prefix_upper_bound(prefix)
-        hi = len(self._sorted_keys) if upper is None else bisect_left(
-            self._sorted_keys, upper, lo
-        )
-        return lo, hi
 
     def matching_registered_prefixes(self, key: str) -> Iterator[str]:
         """Registered prefixes that `key` falls under (at most len(key)+1)."""
@@ -279,8 +271,7 @@ class ObjectStore:
         """
         count = self._prefix_counts.get(prefix)
         if count is None:
-            lo, hi = self._prefix_bounds(prefix)
-            count = hi - lo
+            count = self._keys.count_range(prefix, _prefix_upper_bound(prefix))
             self._prefix_counts[prefix] = count
             self._max_prefix_len = max(self._max_prefix_len, len(prefix))
         return count
@@ -310,8 +301,7 @@ class ObjectStore:
             self._index_remove(key)
 
     def _do_list(self, prefix: str) -> list[str]:
-        lo, hi = self._prefix_bounds(prefix)
-        return self._sorted_keys[lo:hi]
+        return self._keys.list_range(prefix, _prefix_upper_bound(prefix))
 
     def _exists(self, key: str) -> bool:
         return key in self._objects
@@ -320,8 +310,7 @@ class ObjectStore:
         count = self._prefix_counts.get(prefix)
         if count is not None:
             return count
-        lo, hi = self._prefix_bounds(prefix)
-        return hi - lo
+        return self._keys.count_range(prefix, _prefix_upper_bound(prefix))
 
     # Test/diagnostic conveniences (no simulated time involved).
     def peek(self, key: str) -> Any:

@@ -64,12 +64,16 @@ class StudyContext:
     """What a grid declaration may depend on.
 
     ``max_epochs`` overrides every point's epoch cap (scaled-down
-    sweeps); ``seed`` feeds every RNG draw. Frozen and hashable so it
-    doubles as the memoization key for grid expansion.
+    sweeps); ``seed`` feeds every RNG draw; ``mega`` opts into the
+    mega-scale grid tails (e.g. fig11's W=1024/2048/4096 FaaS points)
+    that stay out of default sweeps so CI smoke runs keep their wall
+    budget. Frozen and hashable so it doubles as the memoization key
+    for grid expansion.
     """
 
     max_epochs: float | None = None
     seed: int = DEFAULT_SEED
+    mega: bool = False
 
 
 class Study:
@@ -111,6 +115,7 @@ class Study:
         max_epochs: float | None = None,
         seed: int = DEFAULT_SEED,
         ctx: StudyContext | None = None,
+        mega: bool = False,
     ) -> list[SweepPoint]:
         """The study's grid, memoized per context.
 
@@ -121,7 +126,7 @@ class Study:
         large grid.
         """
         if ctx is None:
-            ctx = StudyContext(max_epochs=max_epochs, seed=seed)
+            ctx = StudyContext(max_epochs=max_epochs, seed=seed, mega=mega)
         if ctx not in self._expansions:
             self._expansions[ctx] = list(self._points(ctx))
         return list(self._expansions[ctx])

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 
 import pytest
 
@@ -39,6 +40,11 @@ class TestParser:
             build_parser().parse_args([])
 
 
+# Like serve's orchestration knobs: observability of the run, not part
+# of the workload's identity, so hand-written rather than a config field.
+TRAIN_ORCHESTRATION_FLAGS = {"profile"}
+
+
 class TestTrainFlagParity:
     """`train` flags are generated from TrainingConfig — pin the bijection."""
 
@@ -52,7 +58,13 @@ class TestTrainFlagParity:
             action.dest: action
             for action in train_subparser()._actions
             if action.dest != "help"
+            and action.dest not in TRAIN_ORCHESTRATION_FLAGS
         }
+
+    def test_orchestration_flags_present_and_disjoint(self):
+        dests = {a.dest for a in train_subparser()._actions}
+        assert TRAIN_ORCHESTRATION_FLAGS <= dests
+        assert not (TRAIN_ORCHESTRATION_FLAGS & self.config_fields().keys())
 
     def test_field_flag_bijection(self):
         # Every init field has exactly one flag, and no flag exists
@@ -134,6 +146,30 @@ class TestCommands:
             ]
         )
         assert code == 1
+
+    def test_train_profile_writes_artifacts(self, capsys, tmp_path):
+        out = tmp_path / "prof"
+        code = main(
+            [
+                "train", "--model", "lr", "--dataset", "higgs",
+                "--algorithm", "admm", "--workers", "4",
+                "--loss-threshold", "0.66", "--max-epochs", "40",
+                "--profile", str(out),
+            ]
+        )
+        assert code == 0
+        assert (out / "train_profile.pstats").exists()
+        table = (out / "train_profile.txt").read_text()
+        assert "cumulative" in table  # pstats header made it out
+        stats = json.loads((out / "train_engine_stats.json").read_text())
+        assert len(stats["per_engine"]) == 1
+        combined = stats["combined"]
+        assert combined["events"] > 0
+        assert combined["batches"] > 0
+        assert combined["events"] >= combined["batches"]
+        assert combined["top_callsites"]  # [qualname, count] pairs
+        name, count = combined["top_callsites"][0]
+        assert isinstance(name, str) and count > 0
 
     def test_estimate_command(self, capsys):
         code = main(

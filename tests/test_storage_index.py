@@ -1,13 +1,18 @@
 """Unit tests for the storage data-plane index and batched billing.
 
-Covers the incremental sorted-key index and registered-prefix live
-counters in :mod:`repro.storage.base`, the heap slot picker in
-:mod:`repro.simulation.resources`, the batched poll billing, the
-payload sizing fast path, and the communication patterns' round-file
-garbage collection.
+Covers the chunked ordered key index (:mod:`repro.storage.
+ordered_index`) directly — randomized cross-checks against a flat
+sorted-list reference model plus adversarial key sequences — and
+through :mod:`repro.storage.base`'s registered-prefix live counters,
+the float-heap slot picker in :mod:`repro.simulation.resources`, the
+batched poll billing, the payload sizing fast path, and the
+communication patterns' round-file garbage collection.
 """
 
 from __future__ import annotations
+
+import random
+from bisect import bisect_left, insort
 
 import numpy as np
 import pytest
@@ -17,6 +22,7 @@ from repro.simulation.commands import Put, WaitKeyCount
 from repro.simulation.engine import Engine
 from repro.simulation.resources import ServiceQueue
 from repro.storage.base import ObjectStore, StorageProfile, _prefix_upper_bound
+from repro.storage.ordered_index import OrderedKeyIndex
 from repro.storage.services import S3Store
 from repro.utils.serialization import SizedPayload, payload_nbytes
 
@@ -79,6 +85,140 @@ class TestSortedIndex:
         store.seed_object("data/part_0", "x")
         assert store._do_list("data/") == ["data/part_0"]
         assert store._count_prefix("data/") == 1
+
+
+class _ReferenceModel:
+    """Flat sorted list with the exact semantics the chunked index claims."""
+
+    def __init__(self):
+        self.keys: list[str] = []
+
+    def add(self, key):
+        insort(self.keys, key)
+
+    def remove(self, key):
+        self.keys.remove(key)
+
+    def list_range(self, lo, hi):
+        start = bisect_left(self.keys, lo)
+        stop = len(self.keys) if hi is None else bisect_left(self.keys, hi)
+        return self.keys[start:stop]
+
+    def count_range(self, lo, hi):
+        return len(self.list_range(lo, hi))
+
+
+class TestOrderedKeyIndex:
+    """The chunked sorted list vs the flat reference, op for op.
+
+    Small ``load`` factors force constant split/merge churn, so the
+    rebalancing paths are exercised by every test, not just at 10^5+
+    keys.
+    """
+
+    @pytest.mark.parametrize("load", [4, 32, 512])
+    def test_randomized_against_reference(self, load):
+        rng = random.Random(20210620 + load)
+        index, ref = OrderedKeyIndex(load=load), _ReferenceModel()
+        present: set[str] = set()
+        for step in range(4000):
+            roll = rng.random()
+            if roll < 0.55 or not present:
+                key = f"{rng.randrange(40):03d}/{rng.randrange(500):04d}"
+                if key not in present:
+                    present.add(key)
+                    index.add(key)
+                    ref.add(key)
+            elif roll < 0.85:
+                key = rng.choice(ref.keys)
+                present.discard(key)
+                index.remove(key)
+                ref.remove(key)
+            else:
+                lo = f"{rng.randrange(40):03d}"
+                hi = None if rng.random() < 0.3 else _prefix_upper_bound(lo)
+                assert index.list_range(lo, hi) == ref.list_range(lo, hi)
+                assert index.count_range(lo, hi) == ref.count_range(lo, hi)
+            if step % 500 == 0:
+                assert list(index) == ref.keys
+                assert len(index) == len(ref.keys)
+        assert list(index) == ref.keys
+
+    @pytest.mark.parametrize(
+        "sequence_name", ["ascending", "descending", "sawtooth", "hotspot"]
+    )
+    def test_adversarial_sequences(self, sequence_name):
+        """Orders chosen to stress one rebalancing path each.
+
+        ascending appends to the last chunk forever (split-heavy tail);
+        descending inserts at position 0 of the first chunk; sawtooth
+        alternates insert/delete at the same boundary to hunt for
+        split/merge ping-pong; hotspot drains a single chunk through
+        the merge path while neighbours stay full.
+        """
+        n = 600
+        if sequence_name == "ascending":
+            ops = [("add", f"k{i:05d}") for i in range(n)]
+            ops += [("remove", f"k{i:05d}") for i in range(n)]
+        elif sequence_name == "descending":
+            ops = [("add", f"k{n - i:05d}") for i in range(n)]
+            ops += [("remove", f"k{n - i:05d}") for i in range(n)]
+        elif sequence_name == "sawtooth":
+            ops = [("add", f"k{i:05d}") for i in range(n)]
+            for i in range(n // 2):
+                ops.append(("remove", f"k{i:05d}"))
+                ops.append(("add", f"k{i:05d}"))
+        else:  # hotspot: fill three bands, drain the middle one
+            ops = [("add", f"{band}/{i:05d}") for band in "abc" for i in range(n)]
+            ops += [("remove", f"b/{i:05d}") for i in range(n)]
+        index, ref = OrderedKeyIndex(load=8), _ReferenceModel()
+        for op, key in ops:
+            getattr(index, op)(key)
+            getattr(ref, op)(key)
+        assert list(index) == ref.keys
+        assert len(index) == len(ref.keys)
+        for lo in ("", "a/", "b/", "k00100", "zzz"):
+            hi = _prefix_upper_bound(lo)
+            assert index.list_range(lo, hi) == ref.list_range(lo, hi)
+            assert index.count_range(lo, hi) == ref.count_range(lo, hi)
+
+    def test_chunks_stay_bounded_under_churn(self):
+        """No sublist may outgrow 2*load — the bounded-memmove claim."""
+        load = 16
+        index = OrderedKeyIndex(load=load)
+        rng = random.Random(7)
+        live: list[str] = []
+        for _ in range(5000):
+            if rng.random() < 0.6 or not live:
+                key = f"{rng.randrange(10**6):07d}"
+                if key not in index:
+                    index.add(key)
+                    live.append(key)
+            else:
+                key = live.pop(rng.randrange(len(live)))
+                index.remove(key)
+            assert all(len(sub) <= 2 * load for sub in index._lists)
+            assert all(sub for sub in index._lists)  # no empty chunks
+            assert [sub[-1] for sub in index._lists] == index._maxes
+
+    def test_membership_and_errors(self):
+        index = OrderedKeyIndex(load=4)
+        for key in ("a", "b", "c"):
+            index.add(key)
+        assert "b" in index and "bb" not in index and "z" not in index
+        with pytest.raises(KeyError):
+            index.remove("zzz")  # above every chunk max
+        with pytest.raises(KeyError):
+            index.remove("ab")  # inside range, absent
+        assert list(index) == ["a", "b", "c"]
+
+    def test_empty_index_queries(self):
+        index = OrderedKeyIndex()
+        assert list(index) == []
+        assert len(index) == 0
+        assert "x" not in index
+        assert index.list_range("", None) == []
+        assert index.count_range("a", "b") == 0
 
 
 class TestRegisteredPrefixCounters:
@@ -170,7 +310,13 @@ class TestEngineWaitersWithDeletes:
 
 class TestServiceQueueHeap:
     def test_matches_linear_reference(self):
-        """Heap slot picking must reproduce the argmin-with-index-ties rule."""
+        """Float-heap booking must match the linear argmin reference.
+
+        The queue no longer tracks slot indices at all — only the
+        multiset of free times — so this checks the observational
+        claim directly: (start, completion) and busy_until equal the
+        per-slot reference at every step.
+        """
         rng = np.random.default_rng(11)
         for slots in (1, 3, 8):
             q = ServiceQueue(slots)
