@@ -1,0 +1,98 @@
+"""Serving tier acceptance run: the figV panel, benched.
+
+Runs the figV study end to end — the two model classes train through
+the sweep orchestrator, then the full platform x traffic x autoscaler
+serving panel replays over the artifacts — and records the panel into
+the ``serving`` section of ``BENCH_sweep.json``::
+
+    PYTHONPATH=src python benchmarks/bench_figV_serving.py [--dry]
+
+``--dry`` prints the record without touching BENCH_sweep.json.
+``benchmarks/check_regression.py`` shape-validates the committed
+section and asserts the headline cold-start-tail finding (bursty FaaS
+p99.9 >> always-on IaaS p99.9) still holds in the recorded numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+# Pin BLAS to one thread *before* numpy loads (same rationale as
+# repro.cli): the serving panel is a pure function of the training
+# artifacts, so those must be bit-deterministic.
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__ as repro_version
+from repro.experiments.fig_serving import (
+    format_report,
+    serve_pipeline,
+    sweep_points,
+)
+from repro.sweep.artifacts import scan_artifacts
+from repro.sweep.orchestrator import run_sweep
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def measure() -> dict:
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "figV"
+        run_sweep(
+            sweep_points(),
+            out_dir=out,
+            jobs=2,
+            resume=True,
+            substrate="auto",
+            traces_dir=Path(tmp) / "traces",
+        )
+        artifacts, _ = scan_artifacts(out)
+        result = serve_pipeline(list(artifacts.values()))
+    wall = time.perf_counter() - t0
+
+    print(format_report(result))
+    return {
+        "note": (
+            "figV train-then-serve pipeline: a MobileNet/Cifar10 surrogate "
+            "and an LR/Higgs contrast trained to artifacts, then served "
+            "under seeded request traffic across hosting platform (FaaS / "
+            "always-on CPU / GPU VMs) x traffic shape (poisson / diurnal / "
+            "bursty) x autoscaling policy. Each cell records latency "
+            "percentiles, cold-start fraction, utilization and the "
+            "end-to-end dollars (training + $/1M requests) "
+            "check_regression.py gates on."
+        ),
+        "command": "PYTHONPATH=src python benchmarks/bench_figV_serving.py",
+        "panel_wall_seconds": round(wall, 3),
+        **result,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dry", action="store_true",
+                        help="print the record; do not update BENCH_sweep.json")
+    args = parser.parse_args(argv)
+
+    record = measure()
+    print(json.dumps(record, indent=1))
+    if args.dry:
+        return 0
+    baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+    baseline["serving"] = record
+    baseline["engine_version"] = repro_version
+    BASELINE.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n")
+    print(f"updated {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

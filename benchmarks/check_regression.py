@@ -79,8 +79,14 @@ _SWEEP_MEGA_KEYS = {"note", "command", "workers", "host_wall_seconds"}
 _SERVICE_METRIC_KEYS = {"jobs", "p50_completion_s", "p99_completion_s",
                         "mean_completion_s", "mean_queue_s", "total_cost",
                         "cost_per_job", "mean_slowdown", "max_slowdown",
-                        "makespan_s", "converged_jobs"}
+                        "fairness_jain", "makespan_s", "converged_jobs"}
 _SERVICE_SCHEDULERS = {"fifo", "fair_share", "cost_aware", "adaptive"}
+_SWEEP_SERVING_KEYS = {"requests", "rate_rps", "seed", "models", "panel"}
+_SERVING_CELL_KEYS = {"model", "platform", "traffic", "autoscaler",
+                      "p50_latency_s", "p99_latency_s", "p999_latency_s",
+                      "cold_start_fraction", "utilization",
+                      "cost_per_1m_requests", "end_to_end_dollars"}
+_SERVING_PLATFORMS = {"faas", "iaas", "gpu_iaas"}
 
 
 def check_sweep_baseline(path: Path) -> list[str]:
@@ -123,7 +129,88 @@ def check_sweep_baseline(path: Path) -> list[str]:
     problems.extend(_check_reliability_section(path, baseline.get("reliability")))
     problems.extend(_check_fuzz_section(path, baseline.get("fuzz_campaign")))
     problems.extend(_check_service_section(path, baseline.get("service")))
+    problems.extend(_check_serving_section(path, baseline.get("serving")))
     problems.extend(_check_mega_section(path, baseline))
+    return problems
+
+
+def _check_serving_section(path: Path, serving) -> list[str]:
+    """Shape-validate the figV train-then-serve panel record."""
+    if serving is None:  # optional until the serving bench has run
+        return []
+    if not isinstance(serving, dict):
+        return [f"{path.name}: 'serving' must be an object"]
+    missing = _SWEEP_SERVING_KEYS - serving.keys()
+    if missing:
+        return [f"{path.name}: 'serving' section missing {sorted(missing)}"]
+    panel = serving["panel"]
+    if not isinstance(panel, list) or not panel:
+        return [f"{path.name}: 'serving' panel must be a non-empty list"]
+    problems = []
+    for cell in panel:
+        if not isinstance(cell, dict):
+            problems.append(f"{path.name}: serving panel cell is not an object")
+            continue
+        missing = _SERVING_CELL_KEYS - cell.keys()
+        if missing:
+            problems.append(
+                f"{path.name}: serving cell missing {sorted(missing)}"
+            )
+            continue
+        where = (f"{cell['model']}/{cell['platform']}/"
+                 f"{cell['traffic']}/{cell['autoscaler']}")
+        if cell["platform"] not in _SERVING_PLATFORMS:
+            problems.append(
+                f"{path.name}: serving cell {where} has unknown platform"
+            )
+        if not (cell["p50_latency_s"] <= cell["p99_latency_s"]
+                <= cell["p999_latency_s"]):
+            problems.append(
+                f"{path.name}: serving cell {where} has unordered "
+                "latency percentiles"
+            )
+        if not 0.0 <= cell["cold_start_fraction"] <= 1.0 \
+                or not 0.0 <= cell["utilization"] <= 1.0:
+            problems.append(
+                f"{path.name}: serving cell {where} has a fraction "
+                "outside [0, 1]"
+            )
+        if cell["cost_per_1m_requests"] <= 0 or cell["end_to_end_dollars"] <= 0:
+            problems.append(
+                f"{path.name}: serving cell {where} records free serving — "
+                "simulated requests are never free"
+            )
+        if cell["cold_start_fraction"] > 0 and cell["platform"] != "faas":
+            if cell["autoscaler"] == "fixed":
+                problems.append(
+                    f"{path.name}: serving cell {where} cold-starts on a "
+                    "pre-booted always-on fleet"
+                )
+    # The headline finding figV exists to report: bursty traffic on FaaS
+    # must show a cold-start tail that the always-on fleet doesn't have.
+    # The record is deterministic (seeded traffic), so this inequality
+    # is a property of the committed numbers, not of the CI machine.
+    def _cell(platform, autoscaler):
+        for cell in panel:
+            if isinstance(cell, dict) and not (_SERVING_CELL_KEYS - cell.keys()) \
+                    and cell["model"] == "nn" and cell["traffic"] == "bursty" \
+                    and cell["platform"] == platform \
+                    and cell["autoscaler"] == autoscaler:
+                return cell
+        return None
+
+    faas, iaas = _cell("faas", "concurrency"), _cell("iaas", "fixed")
+    if faas is not None and iaas is not None:
+        if not (faas["p999_latency_s"] > iaas["p999_latency_s"]
+                and faas["cold_start_fraction"] > 0.0
+                and iaas["cold_start_fraction"] == 0.0):
+            problems.append(
+                f"{path.name}: the recorded bursty FaaS/IaaS pair shows no "
+                f"cold-start tail (p99.9 {faas['p999_latency_s']} vs "
+                f"{iaas['p999_latency_s']}, cold "
+                f"{faas['cold_start_fraction']} vs "
+                f"{iaas['cold_start_fraction']})"
+            )
     return problems
 
 

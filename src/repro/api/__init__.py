@@ -37,6 +37,19 @@ Three layers, smallest first:
                     scheduler="fair_share")
       print(svc.run().report())
 
+* **A serving pipeline.** :class:`ServingSession` owns the whole
+  train-then-serve pipeline declared by one :class:`ServingConfig` —
+  train the model, register it, replay seeded traffic against an
+  autoscaled replica pool — and reports latency tails, cold-start
+  fraction and end-to-end dollars. Content-addressed and
+  resume-by-default like everything else::
+
+      from repro.api import ServingConfig, ServingSession
+
+      pipe = ServingSession("results", config=ServingConfig(
+          platform="faas", traffic="bursty", autoscaler="concurrency"))
+      print(pipe.run().report())
+
 * **A new study.** Declare ``points(ctx)`` / ``aggregate`` /
   ``format_report`` on a class, decorate it with :func:`study`, and the
   name becomes available to ``Session.sweep`` and ``repro.cli sweep``
@@ -54,7 +67,9 @@ from repro.analytics.estimator import SamplingEstimator
 from repro.analytics.model import AnalyticalModel, WorkloadParams
 from repro.api.scenario import Scenario
 from repro.api.service import Service, ServiceOutcome
+from repro.api.serving import ServingOutcome, ServingSession
 from repro.api.session import Comparison, Session, StudyOutcome
+from repro.serving.config import ServingConfig
 from repro.service.config import ServiceConfig
 from repro.core.config import TrainingConfig
 from repro.core.results import RunResult
@@ -79,6 +94,9 @@ __all__ = [
     "Service",
     "ServiceConfig",
     "ServiceOutcome",
+    "ServingConfig",
+    "ServingOutcome",
+    "ServingSession",
     "Session",
     "Study",
     "StudyContext",

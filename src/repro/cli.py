@@ -11,6 +11,8 @@ Usage (installed as a module)::
     python -m repro.cli sweep --experiment fig11 --jobs 4 --resume
     python -m repro.cli serve --arrivals poisson --rate 6 --tenants 12 \
         --scheduler fair_share --seed 0
+    python -m repro.cli infer --platform faas --traffic bursty \
+        --autoscaler concurrency --requests 400
 
 `train` prints a RunResult summary plus breakdowns — its flags are
 derived mechanically from the ``TrainingConfig`` dataclass fields, so
@@ -19,7 +21,8 @@ Table-4 workloads; `estimate` runs the sampling-based
 epochs-to-convergence estimator; `sweep` runs any registered study
 (``--list`` prints the catalog) over a process pool, writing one
 resumable JSON artifact per point; `serve` runs a multi-tenant training
-service workload — its flags are derived from ``ServiceConfig`` the
+service workload and `infer` a train-then-serve inference pipeline —
+their flags are derived from ``ServiceConfig`` / ``ServingConfig`` the
 same way train's are from ``TrainingConfig``.
 """
 
@@ -478,6 +481,61 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_infer_parser(subparsers) -> None:
+    from repro.serving.config import ServingConfig
+
+    p = subparsers.add_parser(
+        "infer",
+        help="run a train-then-serve inference pipeline "
+        "(flags mirror ServingConfig)",
+    )
+    add_config_flags(p, cls=ServingConfig)
+    # Orchestration flags (not part of the pipeline's identity).
+    p.add_argument("--out", default=None,
+                   help="pipeline root: serving report under <out>/serving, "
+                   "the trained model under <out>/models (default: in-memory)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the training leg")
+    p.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="load the persisted report for an identical pipeline "
+                   "instead of re-simulating it (needs --out)")
+    p.add_argument("--substrate", default="auto", choices=["auto", "exact"],
+                   help="training-leg policy: 'auto' replays recorded "
+                   "statistics when eligible; 'exact' always trains with "
+                   "real numpy")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw serving report instead of the table")
+
+
+def _run_infer(args: argparse.Namespace) -> int:
+    from repro.api.serving import ServingSession
+    from repro.serving.config import ServingConfig
+
+    config = config_from_args(args, cls=ServingConfig)
+    session = ServingSession.from_config(
+        config,
+        root=args.out,
+        jobs=args.jobs,
+        substrate=args.substrate,
+        resume=args.resume,
+        progress=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    outcome = session.run()
+    if args.json:
+        print(json.dumps(outcome.data, sort_keys=True, indent=1))
+    else:
+        print(outcome.report())
+    status = (
+        "report resumed, 0 request(s) re-simulated"
+        if outcome.ran_requests == 0
+        else f"{outcome.ran_requests} request(s) simulated"
+    )
+    where = f"; report at {outcome.path}" if outcome.path is not None else ""
+    print(f"serving {outcome.data['serving_hash']}: {status}{where}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -489,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_estimate_parser(subparsers)
     _add_sweep_parser(subparsers)
     _add_serve_parser(subparsers)
+    _add_infer_parser(subparsers)
     _add_fuzz_parser(subparsers)
     return parser
 
@@ -501,6 +560,7 @@ def main(argv: list[str] | None = None) -> int:
         "estimate": _run_estimate,
         "sweep": _run_sweep,
         "serve": _run_serve,
+        "infer": _run_infer,
         "fuzz": _run_fuzz,
     }
     return handlers[args.command](args)

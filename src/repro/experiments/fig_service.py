@@ -110,11 +110,11 @@ def format_report(result: dict) -> str:
         f"figS — service schedulers ({result['tenants']} Poisson jobs @ "
         f"{result['rate_per_hour']:g}/h, limit {result['max_concurrent']})",
         ["scheduler", "p50 (s)", "p99 (s)", "$/job", "mean slowdown",
-         "max slowdown", "makespan (s)"],
+         "max slowdown", "fairness", "makespan (s)"],
         [
             [name, m["p50_completion_s"], m["p99_completion_s"],
              m["cost_per_job"], m["mean_slowdown"], m["max_slowdown"],
-             m["makespan_s"]]
+             m.get("fairness_jain", 1.0), m["makespan_s"]]
             for name, m in schedulers.items()
         ],
     )

@@ -1,6 +1,20 @@
-"""AWS-style pricing: a 2021 price catalog and per-run cost meters."""
+"""AWS-style pricing: a 2021 price catalog, cost meters, platform profiles."""
 
 from repro.pricing.catalog import PriceCatalog, DEFAULT_CATALOG
 from repro.pricing.meter import CostMeter
+from repro.pricing.platforms import (
+    SERVING_PLATFORMS,
+    PlatformProfile,
+    get_platform,
+    inference_speedup,
+)
 
-__all__ = ["PriceCatalog", "DEFAULT_CATALOG", "CostMeter"]
+__all__ = [
+    "CostMeter",
+    "DEFAULT_CATALOG",
+    "PlatformProfile",
+    "PriceCatalog",
+    "SERVING_PLATFORMS",
+    "get_platform",
+    "inference_speedup",
+]

@@ -14,6 +14,7 @@ from repro.service.config import (
 from repro.service.metrics import (
     build_report,
     format_service_report,
+    jain_fairness,
     percentile,
     service_metrics,
     validate_report,
@@ -37,6 +38,7 @@ __all__ = [
     "build_report",
     "build_requests",
     "format_service_report",
+    "jain_fairness",
     "make_scheduler",
     "percentile",
     "poisson_arrivals",

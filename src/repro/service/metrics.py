@@ -26,6 +26,26 @@ def percentile(values: list[float], q: float) -> float:
     return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
 
+def jain_fairness(values: list[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²), in (0, 1]; 1 = equal."""
+    if not values:
+        raise SimulationError("fairness of an empty series")
+    square_of_sum = sum(values) ** 2
+    sum_of_squares = sum(v * v for v in values)
+    if sum_of_squares == 0.0:
+        return 1.0  # all-zero allocations are (vacuously) equal
+    return square_of_sum / (len(values) * sum_of_squares)
+
+
+def _tenant_mean_slowdowns(records: list[dict]) -> list[float]:
+    """Per-tenant mean slowdown, in first-appearance order."""
+    totals: dict = {}
+    for r in records:
+        slowdown_sum, jobs = totals.setdefault(r["tenant"], [0.0, 0])
+        totals[r["tenant"]] = [slowdown_sum + r["slowdown"], jobs + 1]
+    return [slowdown_sum / jobs for slowdown_sum, jobs in totals.values()]
+
+
 def service_metrics(records: list[dict]) -> dict:
     """Aggregate per-job records into the service-level scorecard."""
     completions = [r["completion_s"] for r in records]
@@ -42,6 +62,9 @@ def service_metrics(records: list[dict]) -> dict:
         "cost_per_job": total_cost / jobs,
         "mean_slowdown": sum(slowdowns) / jobs,
         "max_slowdown": max(slowdowns),
+        # How evenly the schedulers spread contention: Jain's index over
+        # per-tenant mean slowdowns (1 = every tenant slowed equally).
+        "fairness_jain": jain_fairness(_tenant_mean_slowdowns(records)),
         "makespan_s": max(r["completed_s"] for r in records),
         "converged_jobs": sum(1 for r in records if r["converged"]),
     }
@@ -108,6 +131,7 @@ def format_service_report(report: dict) -> str:
         f"p99 {metrics['p99_completion_s']:.3g} s | "
         f"$/job {metrics['cost_per_job']:.4g} | "
         f"mean slowdown {metrics['mean_slowdown']:.3g}x | "
+        f"fairness {metrics.get('fairness_jain', 1.0):.3g} | "
         f"makespan {metrics['makespan_s']:.3g} s"
     )
     return f"{table}\n{summary}"

@@ -1,0 +1,67 @@
+"""The serving tier: traffic-driven inference simulation on the engine.
+
+The public entry point is :class:`repro.api.ServingSession` (and the
+``repro.cli infer`` command); this package holds the mechanism — the
+model registry bridging training outputs into deployable entries, the
+seeded traffic shapes, the autoscaled replica pool with FaaS cold-start
+economics, and the serving scorecard.
+"""
+
+from repro.serving.autoscale import (
+    Autoscaler,
+    ConcurrencyScaler,
+    FixedScaler,
+    PoolState,
+    QueueDepthScaler,
+    make_autoscaler,
+)
+from repro.serving.config import (
+    AUTOSCALER_NAMES,
+    PLATFORM_NAMES,
+    TRAFFIC_SHAPES,
+    ServingConfig,
+    serving_fingerprint,
+    serving_hash,
+)
+from repro.serving.metrics import (
+    build_serving_report,
+    format_serving_report,
+    serving_metrics,
+    validate_serving_report,
+)
+from repro.serving.registry import ModelRegistry, ServedModel, model_load_seconds
+from repro.serving.runtime import ServingRuntime, request_service_seconds
+from repro.serving.workload import (
+    TRAFFIC_STREAM,
+    arrivals_for,
+    request_arrivals,
+    traffic_trace,
+)
+
+__all__ = [
+    "AUTOSCALER_NAMES",
+    "Autoscaler",
+    "ConcurrencyScaler",
+    "FixedScaler",
+    "ModelRegistry",
+    "PLATFORM_NAMES",
+    "PoolState",
+    "QueueDepthScaler",
+    "ServedModel",
+    "ServingConfig",
+    "ServingRuntime",
+    "TRAFFIC_SHAPES",
+    "TRAFFIC_STREAM",
+    "arrivals_for",
+    "build_serving_report",
+    "format_serving_report",
+    "make_autoscaler",
+    "model_load_seconds",
+    "request_arrivals",
+    "request_service_seconds",
+    "serving_fingerprint",
+    "serving_hash",
+    "serving_metrics",
+    "traffic_trace",
+    "validate_serving_report",
+]

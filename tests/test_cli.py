@@ -248,3 +248,72 @@ class TestServeFlagParity:
     def test_serve_rejects_unknown_scheduler(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--scheduler", "lifo"])
+
+
+def infer_subparser() -> argparse.ArgumentParser:
+    parser = build_parser()
+    subparsers = parser._subparsers._group_actions[0]
+    return subparsers.choices["infer"]
+
+
+# Same split as serve: pipeline identity lives in ServingConfig,
+# orchestration knobs are hand-written flags.
+INFER_ORCHESTRATION_FLAGS = {"out", "jobs", "resume", "substrate", "json"}
+
+
+class TestInferFlagParity:
+    """`infer` flags are generated from ServingConfig — pin the bijection."""
+
+    def config_fields(self) -> dict[str, dataclasses.Field]:
+        from repro.serving.config import ServingConfig
+
+        return {
+            f.name: f for f in dataclasses.fields(ServingConfig) if f.init
+        }
+
+    def flag_actions(self) -> dict[str, argparse.Action]:
+        return {
+            action.dest: action
+            for action in infer_subparser()._actions
+            if action.dest != "help"
+            and action.dest not in INFER_ORCHESTRATION_FLAGS
+        }
+
+    def test_field_flag_bijection(self):
+        assert self.flag_actions().keys() == self.config_fields().keys()
+
+    def test_flag_names_types_defaults_match_fields(self):
+        actions = self.flag_actions()
+        for name, field in self.config_fields().items():
+            action = actions[name]
+            flag = "--" + name.replace("_", "-")
+            assert flag in action.option_strings, name
+            kind = str(field.type).split("|")[0].strip()
+            if kind == "bool":
+                assert isinstance(action, argparse.BooleanOptionalAction), name
+                assert action.default == field.default
+            elif field.default is dataclasses.MISSING:
+                assert action.required, name
+            else:
+                assert action.default == field.default, name
+                assert action.type is {"int": int, "float": float, "str": str}[kind]
+
+    def test_metadata_choices_reach_argparse(self):
+        actions = self.flag_actions()
+        for name, field in self.config_fields().items():
+            choices = field.metadata.get("choices")
+            if choices is not None:
+                assert actions[name].choices == list(choices), name
+
+    def test_orchestration_flags_present_and_disjoint(self):
+        dests = {a.dest for a in infer_subparser()._actions}
+        assert INFER_ORCHESTRATION_FLAGS <= dests
+        assert not (INFER_ORCHESTRATION_FLAGS & self.config_fields().keys())
+
+    def test_infer_rejects_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["infer", "--platform", "mainframe"])
+
+    def test_infer_rejects_unknown_traffic(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["infer", "--traffic", "square_wave"])

@@ -67,3 +67,79 @@ class TestMeter:
         m = CostMeter()
         m.bill_dynamodb_request("put", 1)  # still one full write unit
         assert m.total == pytest.approx(1.25e-6)
+
+
+class TestServingPlatforms:
+    """Satellite: the GPU-IaaS pricing profile and its cost arithmetic."""
+
+    def test_catalog_has_gpu_iaas_rate(self):
+        # g4dn.xlarge (one T4) at the on-demand $0.526/hour anchor.
+        assert DEFAULT_CATALOG.ec2_price("g4dn.xlarge") == 0.526
+
+    def test_hourly_dollars_iaas_is_instance_rate(self):
+        from repro.pricing import SERVING_PLATFORMS
+
+        profile = SERVING_PLATFORMS["gpu_iaas"]
+        assert profile.hourly_dollars(DEFAULT_CATALOG) == pytest.approx(0.526)
+
+    def test_hourly_dollars_faas_is_gb_second_ceiling(self):
+        from repro.pricing import SERVING_PLATFORMS
+        from repro.pricing.catalog import LAMBDA_PER_GB_SECOND
+
+        profile = SERVING_PLATFORMS["faas"]
+        # A fully-utilized 3 GB function for one hour.
+        expected = 3.0 * 3600.0 * LAMBDA_PER_GB_SECOND
+        assert profile.hourly_dollars(
+            DEFAULT_CATALOG, memory_gb=3.0
+        ) == pytest.approx(expected)
+        # The FaaS hourly ceiling beats the GPU VM only below 3 GB x 1 h.
+        assert expected == pytest.approx(0.18000036)
+
+    def test_inference_speedup_selects_gpu_family(self):
+        import dataclasses
+
+        from repro.models.zoo import get_model_info
+        from repro.pricing import SERVING_PLATFORMS, inference_speedup
+
+        compute = get_model_info("mobilenet", "cifar10").compute
+        gpu = SERVING_PLATFORMS["gpu_iaas"]
+        # g4dn carries a T4 -> the 27x ratio; g3s carries an M60 -> 20x.
+        assert inference_speedup(gpu, compute) == compute.gpu_speedup_t4 == 27.0
+        m60 = dataclasses.replace(gpu, instance="g3s.xlarge")
+        assert inference_speedup(m60, compute) == compute.gpu_speedup_m60 == 20.0
+
+    def test_inference_speedup_cpu_and_faas(self):
+        from repro.models.zoo import get_model_info
+        from repro.pricing import SERVING_PLATFORMS, inference_speedup
+
+        compute = get_model_info("mobilenet", "cifar10").compute
+        assert inference_speedup(SERVING_PLATFORMS["iaas"], compute) == 1.2
+        assert inference_speedup(SERVING_PLATFORMS["faas"], compute) == 1.0
+
+    def test_gpu_fallback_for_models_without_gpu_ratio(self):
+        from repro.models.zoo import get_model_info
+        from repro.pricing import SERVING_PLATFORMS, inference_speedup
+
+        # LR has no calibrated GPU ratio: the GPU VM still serves at
+        # least as fast as its own CPU cores.
+        compute = get_model_info("lr", "higgs").compute
+        speedup = inference_speedup(SERVING_PLATFORMS["gpu_iaas"], compute)
+        assert speedup == SERVING_PLATFORMS["gpu_iaas"].cpu_multiplier
+
+    def test_get_platform_overrides_and_errors(self):
+        from repro.pricing import get_platform
+
+        custom = get_platform("iaas", instance="m5.2xlarge")
+        assert custom.instance == "m5.2xlarge"
+        gpu = get_platform("gpu_iaas", gpu_instance="g3s.xlarge")
+        assert gpu.instance == "g3s.xlarge"
+        with pytest.raises(ConfigurationError):
+            get_platform("bare_metal")
+
+    def test_gpu_hour_vs_serve_cost_arithmetic(self):
+        # One VM-hour of g4dn.xlarge through the meter matches the
+        # catalog rate exactly — the serving tier's $/1M axis rests on
+        # this arithmetic.
+        m = CostMeter()
+        m.bill_vm("g4dn.xlarge", 3600.0)
+        assert m.total == pytest.approx(0.526)

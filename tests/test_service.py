@@ -349,3 +349,40 @@ def test_service_config_is_frozen_and_fingerprintable():
     assert fingerprint["rate"] == 3600.0
     assert service_hash(config) == service_hash(fast_service())
     assert service_hash(config) != service_hash(fast_service(seed=12))
+
+
+class TestJainFairness:
+    """Satellite: Jain's index over per-tenant slowdowns in the scorecard."""
+
+    def test_equal_allocations_score_one(self):
+        from repro.service import jain_fairness
+
+        assert jain_fairness([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+        assert jain_fairness([5.0]) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        from repro.service import jain_fairness
+
+        # (1+3)^2 / (2 * (1+9)) = 16/20.
+        assert jain_fairness([1.0, 3.0]) == pytest.approx(0.8)
+
+    def test_empty_series_rejected(self):
+        from repro.service import jain_fairness
+
+        with pytest.raises(SimulationError):
+            jain_fairness([])
+
+    def test_scorecard_carries_fairness(self):
+        from repro.service import service_metrics
+
+        records = [
+            {"tenant": t, "slowdown": s, "completion_s": 10.0,
+             "completed_s": 10.0, "queue_s": 0.0, "cost_dollars": 0.1,
+             "converged": True}
+            for t, s in [("a", 1.0), ("a", 1.2), ("b", 2.0)]
+        ]
+        metrics = service_metrics(records)
+        # Per-tenant means are [1.1, 2.0]; Jain over those, not per-job.
+        expected = (1.1 + 2.0) ** 2 / (2 * (1.1**2 + 2.0**2))
+        assert metrics["fairness_jain"] == pytest.approx(expected)
+        assert 0.0 < metrics["fairness_jain"] <= 1.0

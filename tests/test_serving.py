@@ -1,0 +1,481 @@
+"""Tests for the serving tier: traffic, registry, autoscalers, runtime,
+the figV study and the ServingSession/infer facade.
+
+The pinned regressions here are the tentpole's headline physics: seeded
+traffic traces are byte-identical per seed, serving runs are pure
+functions of (config, model), bursty FaaS shows a cold-start tail
+(p99.9 strictly above p50) that a big-enough always-on IaaS fleet does
+not, and figV artifacts are byte-identical between serial and pooled
+sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.serving import (
+    ConcurrencyScaler,
+    FixedScaler,
+    ModelRegistry,
+    PoolState,
+    QueueDepthScaler,
+    ServedModel,
+    ServingConfig,
+    ServingRuntime,
+    arrivals_for,
+    make_autoscaler,
+    model_load_seconds,
+    request_arrivals,
+    request_service_seconds,
+    serving_hash,
+    serving_metrics,
+)
+
+MB = 1024 * 1024
+
+
+def nn_entry(**overrides) -> ServedModel:
+    """A 12 MB MobileNet entry without paying for a training run."""
+    kwargs = dict(
+        name="nn", model="mobilenet", dataset="cifar10",
+        param_bytes=12 * MB, final_loss=0.31, converged=True,
+        quality="converged@0.3100", training_cost=0.2, training_s=950.0,
+        source="test",
+    )
+    kwargs.update(overrides)
+    return ServedModel(**kwargs)
+
+
+class TestTraffic:
+    def test_same_seed_same_trace(self):
+        a = request_arrivals(7, "bursty", 20.0, 100)
+        b = request_arrivals(7, "bursty", 20.0, 100)
+        assert a == b  # byte-identical, not approximately equal
+
+    def test_different_seeds_differ(self):
+        assert request_arrivals(7, "poisson", 20.0, 50) != request_arrivals(
+            8, "poisson", 20.0, 50
+        )
+
+    @pytest.mark.parametrize("shape", ["poisson", "diurnal", "bursty"])
+    def test_strictly_increasing(self, shape):
+        arrivals = request_arrivals(3, shape, 15.0, 200)
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_poisson_mean_rate(self):
+        # 2000 arrivals at 20 r/s should take ~100 s (law of large numbers).
+        arrivals = request_arrivals(0, "poisson", 20.0, 2000)
+        assert arrivals[-1] == pytest.approx(100.0, rel=0.15)
+
+    def test_shapes_produce_distinct_traces(self):
+        traces = {
+            shape: tuple(request_arrivals(5, shape, 20.0, 50))
+            for shape in ("poisson", "diurnal", "bursty")
+        }
+        assert len(set(traces.values())) == 3
+
+    def test_bursty_concentrates_arrivals_in_spikes(self):
+        arrivals = request_arrivals(
+            1, "bursty", 10.0, 400,
+            burst_every_s=10.0, burst_len_s=1.0, burst_factor=6.0,
+        )
+        in_spike = sum(1 for t in arrivals if (t % 10.0) < 1.0)
+        # The spike holds 6/15 of the integrated rate over 1/10 of the
+        # time; at factor 6 that's ~40% of arrivals in 10% of the window.
+        assert in_spike / len(arrivals) > 0.25
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            request_arrivals(0, "poisson", 0.0, 10)
+        with pytest.raises(ConfigurationError):
+            request_arrivals(0, "poisson", 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            request_arrivals(0, "square_wave", 1.0, 10)
+
+    def test_arrivals_for_matches_config_knobs(self):
+        config = ServingConfig(traffic="diurnal", rate_rps=12.0, requests=30)
+        assert arrivals_for(config) == request_arrivals(
+            config.seed, "diurnal", 12.0, 30,
+            diurnal_period_s=config.diurnal_period_s,
+            diurnal_amplitude=config.diurnal_amplitude,
+        )
+
+
+class TestServingConfig:
+    def test_defaults_are_valid(self):
+        config = ServingConfig()
+        assert config.platform == "faas"
+        assert config.train_kwargs()["model"] == "mobilenet"
+
+    def test_nn_models_get_minibatch_recipe(self):
+        kwargs = ServingConfig().train_kwargs()
+        assert kwargs["algorithm"] == "ga_sgd"
+        assert kwargs["batch_size"] == 32
+        # Non-NN models keep the TrainingConfig defaults.
+        assert "algorithm" not in ServingConfig(
+            model="lr", dataset="higgs"
+        ).train_kwargs()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(platform="mainframe"),
+        dict(traffic="square_wave"),
+        dict(autoscaler="psychic"),
+        dict(rate_rps=0.0),
+        dict(requests=0),
+        dict(diurnal_amplitude=1.0),
+        dict(burst_len_s=20.0, burst_every_s=10.0),
+        dict(burst_factor=0.5),
+        dict(min_replicas=5, max_replicas=2),
+        dict(min_replicas=0),
+        dict(target_concurrency=0.0),
+        dict(queue_threshold=0),
+        dict(idle_expiry_s=0.0),
+        dict(memory_gb=4.0),
+        dict(cold_jitter=-0.1),
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServingConfig(**kwargs)
+
+    def test_hash_is_stable_and_sensitive(self):
+        a, b = ServingConfig(), ServingConfig()
+        assert serving_hash(a) == serving_hash(b)
+        assert serving_hash(a) != serving_hash(ServingConfig(traffic="bursty"))
+
+
+class TestRegistry:
+    def test_load_seconds_from_size(self):
+        # 12 MB over the 65 MB/s S3 envelope plus the 80 ms request.
+        assert model_load_seconds(12 * MB) == pytest.approx(
+            0.08 + 12 * MB / (65 * MB), rel=1e-12
+        )
+        with pytest.raises(ConfigurationError):
+            model_load_seconds(-1)
+
+    def test_register_artifact_maps_fields(self):
+        registry = ModelRegistry()
+        entry = registry.register_artifact("m", {
+            "config": {"model": "mobilenet", "dataset": "cifar10"},
+            "result": {"final_loss": 0.25, "converged": True,
+                       "cost_total": 0.5, "duration_s": 100.0},
+            "config_hash": "abc123",
+        })
+        assert entry.param_bytes == 12 * MB
+        assert entry.quality == "converged@0.2500"
+        assert entry.training_cost == 0.5
+        assert entry.source == "abc123"
+        assert registry.get("m") is entry
+
+    def test_duplicate_and_unknown_names_rejected(self):
+        registry = ModelRegistry()
+        registry.register(nn_entry())
+        with pytest.raises(ConfigurationError):
+            registry.register(nn_entry())
+        with pytest.raises(ConfigurationError):
+            registry.get("nope")
+
+    def test_draft_quality_tag(self):
+        registry = ModelRegistry()
+        entry = registry.register_artifact("m", {
+            "config": {"model": "lr", "dataset": "higgs"},
+            "result": {"final_loss": 0.96, "converged": False,
+                       "cost_total": 0.01, "duration_s": 50.0},
+            "config_hash": "h",
+        })
+        assert entry.quality == "draft@0.9600"
+
+
+class TestAutoscalers:
+    def test_fixed_ignores_demand(self):
+        scaler = FixedScaler(3, 16)
+        assert scaler.desired(PoolState(100, 50, 3, 0), now=0.0) == 3
+
+    def test_concurrency_tracks_demand(self):
+        scaler = ConcurrencyScaler(1, 16, target_concurrency=2.0)
+        assert scaler.desired(PoolState(0, 0, 1, 1), 0.0) == 1  # clamped up
+        assert scaler.desired(PoolState(3, 4, 2, 0), 0.0) == 4  # ceil(7/2)
+        assert scaler.desired(PoolState(100, 0, 1, 0), 0.0) == 16  # clamped
+
+    def test_queue_depth_hysteresis(self):
+        scaler = QueueDepthScaler(
+            1, 16, queue_threshold=4, up_cooldown_s=2.0, down_cooldown_s=30.0
+        )
+        backlog = PoolState(queued=5, in_flight=2, live=2, idle=0)
+        assert scaler.desired(backlog, 0.0) == 2  # stepped 1 -> 2
+        assert scaler.desired(backlog, 1.0) == 2  # up-cooldown holds
+        assert scaler.desired(backlog, 2.5) == 3  # cooldown elapsed
+        drained = PoolState(queued=0, in_flight=0, live=3, idle=3)
+        assert scaler.desired(drained, 3.0) == 3  # down-cooldown holds
+        assert scaler.desired(drained, 40.0) == 2  # elapsed: step down
+        assert scaler.desired(drained, 41.0) == 2  # down-cooldown again
+
+    def test_make_autoscaler_dispatch(self):
+        for name, cls in [("fixed", FixedScaler),
+                          ("concurrency", ConcurrencyScaler),
+                          ("queue_depth", QueueDepthScaler)]:
+            assert isinstance(
+                make_autoscaler(ServingConfig(autoscaler=name)), cls
+            )
+
+
+class TestServingRuntime:
+    def test_run_is_deterministic(self):
+        config = ServingConfig(traffic="bursty", requests=120)
+        entry = nn_entry()
+        r1, p1 = ServingRuntime(config, entry).run()
+        r2, p2 = ServingRuntime(config, entry).run()
+        assert json.dumps([r1, p1], sort_keys=True) == json.dumps(
+            [r2, p2], sort_keys=True
+        )
+
+    def test_gpu_serves_faster_than_cpu(self):
+        entry = nn_entry()
+        faas = request_service_seconds(ServingConfig(), entry)
+        gpu = request_service_seconds(
+            ServingConfig(platform="gpu_iaas"), entry
+        )
+        assert gpu < faas / 5  # the calibrated 27x T4 ratio dominates
+
+    def test_every_request_served_in_order(self):
+        config = ServingConfig(requests=80)
+        records, pool = ServingRuntime(config, nn_entry()).run()
+        assert [r["request"] for r in records] == list(range(80))
+        assert all(r["latency_s"] >= pool["serve_s"] for r in records)
+
+    def test_cold_start_tail_on_bursty_faas(self):
+        """The tentpole's pinned regression: p99.9 strictly above p50."""
+        config = ServingConfig(
+            platform="faas", traffic="bursty", autoscaler="concurrency",
+            requests=300,
+        )
+        records, pool = ServingRuntime(config, nn_entry()).run()
+        metrics = serving_metrics(records, pool)
+        assert metrics["p999_latency_s"] > metrics["p50_latency_s"]
+        assert metrics["cold_start_fraction"] > 0.0
+
+    def test_no_cold_tail_on_always_on_iaas(self):
+        """A pre-booted fleet big enough for the bursts has no tail."""
+        config = ServingConfig(
+            platform="iaas", traffic="bursty", autoscaler="fixed",
+            min_replicas=8, requests=300,
+        )
+        records, pool = ServingRuntime(config, nn_entry()).run()
+        metrics = serving_metrics(records, pool)
+        assert metrics["cold_starts"] == 0
+        assert metrics["cold_start_fraction"] == 0.0
+        assert metrics["p999_latency_s"] == metrics["p50_latency_s"]
+
+    def test_faas_idle_expiry_recreates_cold_starts(self):
+        # Arrivals ~20 s apart with a 5 s keep-warm window: every
+        # request after the first finds its container expired.
+        sparse = ServingConfig(
+            platform="faas", rate_rps=0.05, requests=4, idle_expiry_s=5.0,
+            autoscaler="fixed",
+        )
+        _, pool = ServingRuntime(sparse, nn_entry()).run()
+        assert pool["cold_starts"] >= 3
+        # The same trace under a generous window stays warm throughout.
+        warm = ServingConfig(
+            platform="faas", rate_rps=0.05, requests=4, idle_expiry_s=600.0,
+            autoscaler="fixed",
+        )
+        _, pool = ServingRuntime(warm, nn_entry()).run()
+        assert pool["cold_starts"] == 1
+
+    def test_iaas_bills_alive_time_not_usage(self):
+        config = ServingConfig(
+            platform="iaas", autoscaler="fixed", min_replicas=2, requests=50
+        )
+        records, pool = ServingRuntime(config, nn_entry()).run()
+        assert pool["cost_breakdown"].keys() == {"ec2", "s3"} - {"s3"} or \
+            set(pool["cost_breakdown"]) <= {"ec2", "s3"}
+        # Two always-on VMs for the whole makespan, at c5.xlarge rates.
+        expected = 2 * pool["makespan_s"] / 3600.0 * 0.17
+        assert pool["cost_breakdown"]["ec2"] == pytest.approx(expected)
+
+    def test_metrics_reject_empty_records(self):
+        with pytest.raises(SimulationError):
+            serving_metrics([], {"cold_starts": 0})
+
+
+@pytest.fixture(scope="module")
+def small_pipeline_root(tmp_path_factory) -> Path:
+    """One tiny trained lr/higgs pipeline, shared across facade tests."""
+    return tmp_path_factory.mktemp("serving_root")
+
+
+def small_config(**overrides) -> ServingConfig:
+    kwargs = dict(
+        model="lr", dataset="higgs", data_scale=2000, requests=60,
+        traffic="bursty", platform="faas", autoscaler="concurrency",
+    )
+    kwargs.update(overrides)
+    return ServingConfig(**kwargs)
+
+
+class TestServingSession:
+    def test_rooted_run_resumes_byte_identical(self, small_pipeline_root):
+        from repro.api import ServingSession
+
+        config = small_config()
+        first = ServingSession(small_pipeline_root, config=config).run()
+        assert first.ran_requests == config.requests
+        assert first.path is not None and first.path.exists()
+        again = ServingSession(small_pipeline_root, config=config).run()
+        assert again.ran_requests == 0  # resumed, nothing re-simulated
+        assert json.dumps(first.data, sort_keys=True) == json.dumps(
+            again.data, sort_keys=True
+        )
+
+    def test_in_memory_matches_rooted(self, small_pipeline_root):
+        from repro.api import ServingSession
+
+        config = small_config()
+        rooted = ServingSession(small_pipeline_root, config=config).run()
+        in_memory = ServingSession(None, config=config).run()
+        assert json.dumps(in_memory.data, sort_keys=True) == json.dumps(
+            rooted.data, sort_keys=True
+        )
+
+    def test_report_mentions_end_to_end_dollars(self, small_pipeline_root):
+        from repro.api import ServingSession
+
+        outcome = ServingSession(
+            small_pipeline_root, config=small_config()
+        ).run()
+        assert "end-to-end" in outcome.report()
+        assert outcome.end_to_end_dollars > 0
+
+    def test_corrupt_report_rejected(self, tmp_path):
+        from repro.api import ServingSession
+
+        config = small_config(requests=30)
+        session = ServingSession(tmp_path, config=config)
+        outcome = session.run()
+        bad = dict(outcome.data)
+        bad["serving_hash"] = "0" * 16
+        outcome.path.write_text(json.dumps(bad))
+        with pytest.raises(SimulationError):
+            ServingSession(tmp_path, config=config).run()
+
+
+class TestInferCli:
+    def test_infer_smoke_and_resume(self, capsys, small_pipeline_root):
+        from repro.cli import main
+
+        argv = [
+            "infer", "--model", "lr", "--dataset", "higgs",
+            "--data-scale", "2000", "--requests", "60",
+            "--traffic", "bursty", "--platform", "faas",
+            "--autoscaler", "concurrency",
+            "--out", str(small_pipeline_root),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "end-to-end" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "report resumed, 0 request(s) re-simulated" in second
+
+    def test_infer_json_output(self, capsys, small_pipeline_root):
+        from repro.cli import main
+
+        assert main([
+            "infer", "--model", "lr", "--dataset", "higgs",
+            "--data-scale", "2000", "--requests", "60",
+            "--traffic", "bursty", "--platform", "faas",
+            "--autoscaler", "concurrency",
+            "--out", str(small_pipeline_root), "--json",
+        ]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out[: out.rindex("}") + 1])
+        assert document["kind"] == "serving_report"
+        assert document["metrics"]["requests"] == 60
+
+
+class TestFigVStudy:
+    def test_registered_and_listed(self):
+        from repro.api import study_names
+
+        assert "figV" in study_names()
+
+    def test_aggregate_is_pure(self):
+        """serve_pipeline over fixed artifacts is fully deterministic."""
+        from repro.experiments.fig_serving import serve_pipeline
+
+        artifacts = [
+            {
+                "tags": {"class": "nn"},
+                "config": {"model": "mobilenet", "dataset": "cifar10",
+                           "seed": 42},
+                "result": {"final_loss": 0.3, "converged": True,
+                           "cost_total": 0.2, "duration_s": 950.0},
+                "config_hash": "nnhash",
+            },
+            {
+                "tags": {"class": "small"},
+                "config": {"model": "lr", "dataset": "higgs", "seed": 42},
+                "result": {"final_loss": 0.95, "converged": False,
+                           "cost_total": 0.01, "duration_s": 50.0},
+                "config_hash": "smallhash",
+            },
+        ]
+        r1 = serve_pipeline(artifacts)
+        r2 = serve_pipeline(artifacts)
+        assert json.dumps(r1, sort_keys=True) == json.dumps(r2, sort_keys=True)
+        assert len(r1["panel"]) == 28  # 3 platforms x 3 traffic x 3 scalers + 1
+        cold_free = [c for c in r1["panel"]
+                     if c["platform"] != "faas" and c["autoscaler"] == "fixed"]
+        assert all(c["cold_start_fraction"] == 0.0 for c in cold_free)
+
+    def test_serial_vs_pooled_artifacts_byte_identical(self, tmp_path):
+        """The acceptance criterion: --jobs must not change any byte."""
+        from repro.experiments.fig_serving import sweep_points
+        from repro.sweep.orchestrator import run_sweep
+
+        serial, pooled = tmp_path / "serial", tmp_path / "pooled"
+        for out, jobs in ((serial, 1), (pooled, 2)):
+            run_sweep(
+                sweep_points(max_epochs=0.2), out_dir=out, jobs=jobs,
+                substrate="auto", traces_dir=tmp_path / f"traces{jobs}",
+            )
+        serial_files = sorted(p.name for p in serial.glob("*.json"))
+        pooled_files = sorted(p.name for p in pooled.glob("*.json"))
+        assert serial_files == pooled_files and serial_files
+        for name in serial_files:
+            # Everything outside `meta` (which records host wall-clock)
+            # must match byte for byte — same convention as test_sweep.
+            a = json.loads((serial / name).read_text())
+            b = json.loads((pooled / name).read_text())
+            a.pop("meta"), b.pop("meta")
+            assert json.dumps(a, sort_keys=True) == json.dumps(
+                b, sort_keys=True
+            ), name
+
+    def test_format_report_headline(self):
+        from repro.experiments.fig_serving import format_report, serve_pipeline
+
+        artifacts = [
+            {
+                "tags": {"class": "nn"},
+                "config": {"model": "mobilenet", "dataset": "cifar10",
+                           "seed": 42},
+                "result": {"final_loss": 0.3, "converged": True,
+                           "cost_total": 0.2, "duration_s": 950.0},
+                "config_hash": "nnhash",
+            },
+            {
+                "tags": {"class": "small"},
+                "config": {"model": "lr", "dataset": "higgs", "seed": 42},
+                "result": {"final_loss": 0.95, "converged": False,
+                           "cost_total": 0.01, "duration_s": 50.0},
+                "config_hash": "smallhash",
+            },
+        ]
+        text = format_report(serve_pipeline(artifacts))
+        assert "bursty tail" in text
+        assert "end-to-end" in text
